@@ -1,0 +1,39 @@
+"""Ablation — the emulator's interference model.
+
+Drift's MAC model (Sec. 5) is ambiguous between three readings we
+implement: ``blanking`` (hidden-terminal receivers hear nothing),
+``capture`` (a covered receiver keeps one arrival), and
+``conflict_free`` (the Sec. 3.2 idealized broadcast MAC that serializes
+shared-receiver transmitters).  The benchmark runs the same OMNC
+session under all three so the sensitivity of the headline numbers to
+this modeling choice is explicit.
+"""
+
+from repro.emulator import SessionConfig, run_coded_session
+from repro.protocols import plan_omnc
+from repro.topology import random_network
+from repro.util import RngFactory
+
+MODELS = ("blanking", "capture", "conflict_free")
+
+
+def test_interference_model_ablation(benchmark):
+    rng = RngFactory(3)
+    network = random_network(120, rng=rng.derive("topo"))
+    plan = plan_omnc(network, 94, 45)
+
+    def run_all():
+        results = {}
+        for model in MODELS:
+            config = SessionConfig(
+                max_seconds=120.0, target_generations=4, interference=model
+            )
+            results[model] = run_coded_session(
+                network, plan, config=config, rng=rng.spawn(model)
+            )
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    for model, result in results.items():
+        benchmark.extra_info[f"{model}_bps"] = round(result.throughput_bps)
+        assert result.throughput_bps > 0

@@ -1,0 +1,34 @@
+"""Section 5 claim — the distributed algorithm averages ~91 iterations.
+
+Runs the rate control algorithm on every session graph of a Fig. 2-style
+campaign and records the iteration distribution plus how closely the
+recovered throughput tracks the centralized LP optimum.
+"""
+
+from repro.experiments.common import CampaignConfig
+from repro.experiments.convergence_stats import run_convergence_stats
+
+PAPER_MEAN_ITERATIONS = 91
+
+
+def test_convergence_statistics(benchmark):
+    config = CampaignConfig.from_environment(
+        node_count=120,
+        sessions=10,
+        session_seconds=60.0,  # unused: no emulation in this benchmark
+        seed=2008,
+    )
+    stats = benchmark.pedantic(
+        run_convergence_stats, args=(config,), rounds=1, iterations=1
+    )
+    benchmark.extra_info["mean_iterations"] = round(stats.iterations.mean, 1)
+    benchmark.extra_info["paper_mean_iterations"] = PAPER_MEAN_ITERATIONS
+    benchmark.extra_info["mean_lp_ratio"] = round(stats.lp_ratio.mean, 3)
+    benchmark.extra_info["converged_fraction"] = round(
+        stats.converged_fraction, 2
+    )
+    # Same order of magnitude as the paper's 91 iterations.
+    assert 20 <= stats.iterations.mean <= 300
+    # Recovered allocations track the LP optimum closely on average.
+    assert abs(stats.lp_ratio.mean - 1.0) < 0.25
+    assert stats.converged_fraction >= 0.8

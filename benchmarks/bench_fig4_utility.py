@@ -1,0 +1,35 @@
+"""Figure 4 — node utility and path utility ratios.
+
+Paper: oldMORE prunes a large share of the selected nodes and nearly all
+path diversity, while OMNC and (new) MORE use almost everything.  The
+benchmark reuses the shared lossy campaign and asserts the reproduced
+contrast.
+"""
+
+from repro.emulator.stats import summarize
+
+
+def test_fig4_utility_distributions(benchmark, lossy_campaign):
+    def derive():
+        out = {}
+        for protocol in ("omnc", "more", "oldmore"):
+            nodes, paths = lossy_campaign.utilities(protocol)
+            out[protocol] = (summarize(nodes), summarize(paths))
+        return out
+
+    distributions = benchmark(derive)
+    for protocol, (nodes, paths) in distributions.items():
+        benchmark.extra_info[f"{protocol}_node_utility"] = round(nodes.mean, 3)
+        benchmark.extra_info[f"{protocol}_path_utility"] = round(paths.mean, 3)
+
+    omnc_nodes, omnc_paths = distributions["omnc"]
+    more_nodes, more_paths = distributions["more"]
+    old_nodes, old_paths = distributions["oldmore"]
+    # The paper's Fig. 4 findings:
+    # (1) OMNC and MORE have similar, high node utility;
+    assert omnc_nodes.mean > 0.7
+    assert more_nodes.mean > 0.7
+    assert abs(omnc_nodes.mean - more_nodes.mean) < 0.25
+    # (2) oldMORE prunes heavily on both axes.
+    assert old_nodes.mean < omnc_nodes.mean - 0.15
+    assert old_paths.mean < omnc_paths.mean * 0.5

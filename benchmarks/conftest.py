@@ -1,0 +1,39 @@
+"""Shared fixtures for the benchmark suite.
+
+The figure benchmarks share one campaign per quality regime so that
+``pytest benchmarks/ --benchmark-only`` regenerates every figure of the
+paper from a single pass over the emulator.  Scale follows the
+environment: reduced by default, ``OMNC_FULL_SCALE=1`` for the paper's
+300-node / 300-session setup.
+"""
+
+import pytest
+
+from repro.experiments.common import CampaignConfig, run_campaign
+
+BENCH_SESSIONS = 10
+BENCH_NODES = 120
+
+
+def bench_config(quality: str) -> CampaignConfig:
+    """The campaign configuration used by the figure benchmarks."""
+    return CampaignConfig.from_environment(
+        node_count=BENCH_NODES,
+        sessions=BENCH_SESSIONS,
+        quality=quality,
+        session_seconds=200.0,
+        target_generations=6,
+        seed=2008,
+    )
+
+
+@pytest.fixture(scope="session")
+def lossy_campaign():
+    """The Fig. 2 (left) / Fig. 3 / Fig. 4 campaign, run once."""
+    return run_campaign(bench_config("lossy"))
+
+
+@pytest.fixture(scope="session")
+def high_quality_campaign():
+    """The Fig. 2 (right) campaign, run once."""
+    return run_campaign(bench_config("high"))

@@ -1,0 +1,75 @@
+"""Watch the distributed rate control algorithm converge (paper Fig. 1).
+
+Runs Table 1 on the paper's sample topology three ways:
+
+* the centralized sUnicast LP (the reference optimum);
+* the fast driver of the distributed algorithm;
+* the *message-passing* execution — genuinely local node programs that
+  only exchange one-hop messages — with a full message census, backing
+  the paper's claim that the algorithm is a "lightweight application
+  layer protocol".
+
+Run::
+
+    python examples/distributed_optimization.py
+"""
+
+from repro.optimization import (
+    RateControlAlgorithm,
+    session_graph_from_network,
+    solve_sunicast,
+)
+from repro.optimization.messages import MessagePassingRateControl
+from repro.topology import fig1_sample_topology
+
+
+def main() -> None:
+    network = fig1_sample_topology(capacity=1e5)
+    graph = session_graph_from_network(network, 0, 5)
+    print("sample topology: 6 nodes, 9 lossy links, capacity 10^5 B/s")
+
+    lp = solve_sunicast(graph)
+    print(f"\ncentralized LP optimum: {lp.throughput * 1e5:.0f} B/s")
+    print("optimal broadcast rates (B/s):",
+          {n: round(b * 1e5) for n, b in lp.broadcast_rates.items()})
+
+    result = RateControlAlgorithm(graph).run()
+    print(f"\ndistributed algorithm: {result.throughput * 1e5:.0f} B/s in "
+          f"{result.iterations} iterations (converged={result.converged})")
+    print("recovered rates (B/s):",
+          {n: round(b * 1e5) for n, b in result.broadcast_rates.items()})
+
+    print("\nconvergence trajectory (recovered rate of each node, B/s):")
+    checkpoints = [0, 4, 9, 19, 39, result.iterations - 1]
+    nodes = sorted(
+        n for n, b in result.broadcast_rates.items() if b > 1e-6
+    )
+    print("iter  " + "".join(f"b[{n}]".rjust(9) for n in nodes))
+    for k in checkpoints:
+        if k >= len(result.rate_history):
+            continue
+        snapshot = result.rate_history[k]
+        row = f"{k + 1:4d}  " + "".join(
+            f"{snapshot[n] * 1e5:9.0f}" for n in nodes
+        )
+        print(row)
+
+    mp = MessagePassingRateControl(graph)
+    mp_result = mp.run()
+    stats = mp.stats
+    print(f"\nmessage-passing execution: {mp_result.throughput * 1e5:.0f} B/s "
+          f"in {mp_result.iterations} iterations")
+    print(f"messages exchanged: {stats.total} total")
+    print(f"  distance advertisements (SUB1 shortest path): "
+          f"{stats.distance_advertisements}")
+    print(f"  flow setup tokens:                            "
+          f"{stats.flow_setup_tokens}")
+    print(f"  one-hop (b, beta) broadcasts (eq. 15/17):     "
+          f"{stats.rate_price_broadcasts}")
+    per_iter = stats.rate_price_broadcasts / max(mp_result.iterations, 1)
+    print(f"  = {per_iter:.0f} local broadcasts per node-iteration — the "
+          "only recurring cost the paper highlights")
+
+
+if __name__ == "__main__":
+    main()

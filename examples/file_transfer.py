@@ -1,0 +1,91 @@
+"""Reliable file transfer over a lossy two-relay diamond with real coding.
+
+Demonstrates the paper's core reliability claim (Sec. 3.1): random
+linear network coding delivers data through lossy links *without any
+retransmissions* — the destination simply accumulates innovative packets
+until each generation reaches full rank, decoding progressively with
+Gauss-Jordan elimination.
+
+Every byte here is real: the payload is split into generations, coded
+packets carry actual GF(2^8) payloads, relays re-encode with fresh
+random coefficients, the channel drops packets, and the recovered bytes
+are compared with the original.
+
+Run::
+
+    python examples/file_transfer.py
+"""
+
+import numpy as np
+
+from repro.coding import (
+    GenerationParams,
+    ProgressiveDecoder,
+    RelayReEncoder,
+    SourceEncoder,
+    split_into_generations,
+)
+from repro.emulator import LossyBroadcastChannel
+from repro.topology import diamond_topology
+from repro.util import RngFactory
+
+
+def main() -> None:
+    rng = RngFactory(42)
+    params = GenerationParams(blocks=16, block_size=512)
+    network = diamond_topology(p_su=0.6, p_sv=0.5, p_ut=0.7, p_vt=0.6)
+    channel = LossyBroadcastChannel(network, rng=rng.derive("channel"))
+
+    payload = bytes(
+        np.random.default_rng(0).integers(0, 256, 3 * params.generation_bytes // 2,
+                                          dtype=np.uint8)
+    )
+    generations = split_into_generations(payload, params)
+    print(f"transferring {len(payload)} bytes as {len(generations)} "
+          f"generations of {params.blocks} x {params.block_size} B")
+    print(f"links: S->u 0.60, S->v 0.50, u->T 0.70, v->T 0.60 "
+          f"(every packet faces loss)")
+
+    recovered = bytearray()
+    total_source_tx = 0
+    total_relay_tx = 0
+    for generation in generations:
+        gen_id = generation.generation_id
+        source = SourceEncoder(1, generation, rng.derive("source", gen_id))
+        relays = {
+            1: RelayReEncoder(1, params.blocks, rng.derive("relay-u", gen_id),
+                              generation_id=gen_id),
+            2: RelayReEncoder(1, params.blocks, rng.derive("relay-v", gen_id),
+                              generation_id=gen_id),
+        }
+        decoder = ProgressiveDecoder(params.blocks, params.block_size)
+        while not decoder.is_complete:
+            # The source broadcasts once; both relays may opportunistically
+            # overhear the same transmission.
+            packet = source.next_packet()
+            total_source_tx += 1
+            for relay_id in channel.broadcast(0, [1, 2]):
+                relays[relay_id].accept(packet)
+            # Relays with innovative content re-encode toward T.
+            for relay_id, relay in relays.items():
+                if relay.buffered == 0:
+                    continue
+                total_relay_tx += 1
+                coded = relay.next_packet()
+                if channel.broadcast(relay_id, [3]):
+                    decoder.add_packet(coded)
+        block = decoder.decode_generation(gen_id)
+        recovered.extend(block.to_bytes())
+        print(f"  generation {gen_id}: decoded after "
+              f"{decoder.received} receptions "
+              f"({decoder.redundant} non-innovative discarded on the fly)")
+
+    result = bytes(recovered[: len(payload)])
+    assert result == payload, "transfer corrupted!"
+    print(f"\nSUCCESS: {len(payload)} bytes recovered bit-exact")
+    print(f"airtime: {total_source_tx} source + {total_relay_tx} relay "
+          f"transmissions, zero retransmissions or per-packet ACKs")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,5 @@
+"""Shim so `pip install -e . --no-use-pep517` works without the wheel package."""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,29 @@
+"""repro — reproduction of "Optimized Multipath Network Coding in Lossy
+Wireless Networks" (Zhang & Li, ICDCS 2008).
+
+The package implements the OMNC protocol and everything it stands on:
+
+* :mod:`repro.coding` — random linear network coding over GF(2^8) with
+  progressive Gauss-Jordan decoding and an accelerated field engine.
+* :mod:`repro.topology` — random lossy-wireless topologies with an
+  empirical PHY (distance -> reception probability) model.
+* :mod:`repro.routing` — ETX metric, shortest paths, node selection.
+* :mod:`repro.optimization` — the sUnicast LP and the distributed
+  Lagrangian rate-control algorithm (paper Table 1).
+* :mod:`repro.protocols` — OMNC plus the MORE, oldMORE and ETX-routing
+  baselines.
+* :mod:`repro.emulator` — Drift-style packet-level emulation: ideal MAC,
+  lossy broadcast channel, session driver, metrics.
+* :mod:`repro.experiments` — harnesses that regenerate every figure of
+  the paper's evaluation (Figs. 1-4) and its headline claims.
+
+Quickstart::
+
+    from repro import quickstart_network, run_session_comparison
+
+See ``examples/quickstart.py`` for an end-to-end walkthrough.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

@@ -1,0 +1,204 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A thin front end over the experiment harnesses and the session drivers,
+for users who want the paper's numbers without writing Python:
+
+* ``fig1`` / ``fig2`` / ``fig3`` / ``fig4`` — regenerate a figure;
+* ``coding-speed`` / ``convergence`` — the two numeric claims;
+* ``session`` — plan and emulate one session of a chosen protocol;
+* ``topology`` — generate and save a topology for later reuse.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.emulator.session import (
+    SessionConfig,
+    run_coded_session,
+    run_unicast_session,
+)
+from repro.protocols.etx_routing import plan_etx_route
+from repro.protocols.more import plan_more
+from repro.protocols.oldmore import plan_oldmore
+from repro.protocols.omnc import plan_omnc
+from repro.topology.random_network import random_network
+from repro.topology.phy import high_quality_phy, lossy_phy
+from repro.topology.serialization import load_network, save_network
+from repro.util.rng import RngFactory
+
+
+def _figure_command(module_main):
+    def run(_args: argparse.Namespace) -> int:
+        module_main()
+        return 0
+
+    return run
+
+
+def _cmd_fig1(_args: argparse.Namespace) -> int:
+    from repro.experiments import fig1_convergence
+
+    fig1_convergence.main()
+    return 0
+
+
+def _cmd_fig2(args: argparse.Namespace) -> int:
+    from repro.experiments.fig2_throughput import run_fig2, PAPER_MEAN_GAINS
+    from repro.experiments.common import CampaignConfig
+
+    config = CampaignConfig.from_environment(
+        quality=args.quality, sessions=args.sessions
+    )
+    result = run_fig2(args.quality, config)
+    paper = PAPER_MEAN_GAINS[args.quality]
+    print(f"Figure 2 ({args.quality}): mean throughput gain over ETX")
+    for protocol in ("omnc", "more", "oldmore"):
+        print(
+            f"  {protocol:8s} {result.mean_gain(protocol):5.2f} "
+            f"(paper {paper[protocol]:.2f})"
+        )
+    return 0
+
+
+def _cmd_fig3(_args: argparse.Namespace) -> int:
+    from repro.experiments import fig3_queue
+
+    fig3_queue.main()
+    return 0
+
+
+def _cmd_fig4(_args: argparse.Namespace) -> int:
+    from repro.experiments import fig4_utility
+
+    fig4_utility.main()
+    return 0
+
+
+def _cmd_coding_speed(_args: argparse.Namespace) -> int:
+    from repro.experiments import coding_speed
+
+    coding_speed.main()
+    return 0
+
+
+def _cmd_convergence(_args: argparse.Namespace) -> int:
+    from repro.experiments import convergence_stats
+
+    convergence_stats.main()
+    return 0
+
+
+def _cmd_topology(args: argparse.Namespace) -> int:
+    rng = RngFactory(args.seed)
+    phy_factory = high_quality_phy if args.quality == "high" else lossy_phy
+    network = random_network(
+        args.nodes,
+        phy=phy_factory(rng=rng.derive("phy")),
+        rng=rng.derive("topology"),
+    )
+    save_network(network, args.output)
+    print(
+        f"saved {network.node_count}-node network "
+        f"({network.link_count()} links, "
+        f"avg quality {network.average_link_probability():.2f}) to {args.output}"
+    )
+    return 0
+
+
+def _cmd_session(args: argparse.Namespace) -> int:
+    rng = RngFactory(args.seed)
+    if args.topology:
+        network = load_network(args.topology)
+    else:
+        network = random_network(
+            args.nodes,
+            phy=lossy_phy(rng=rng.derive("phy")),
+            rng=rng.derive("topology"),
+        )
+    config = SessionConfig(
+        max_seconds=args.seconds,
+        target_generations=args.generations,
+    )
+    source, destination = args.source, args.destination
+    if args.protocol == "etx":
+        plan = plan_etx_route(network, source, destination)
+        result = run_unicast_session(
+            network, plan, config=config, rng=rng.spawn("session")
+        )
+    else:
+        planners = {"omnc": plan_omnc, "more": plan_more, "oldmore": plan_oldmore}
+        plan = planners[args.protocol](network, source, destination)
+        result = run_coded_session(
+            network,
+            plan,
+            config=config,
+            rng=rng.spawn("session"),
+            protocol_label=args.protocol,
+        )
+    print(f"{args.protocol} session {source} -> {destination}:")
+    print(f"  throughput:  {result.throughput_bps:.0f} B/s")
+    print(f"  duration:    {result.duration:.1f} s emulated")
+    if result.generations_decoded:
+        print(f"  generations: {result.generations_decoded} decoded")
+    else:
+        print(f"  packets:     {result.packets_delivered} delivered")
+    print(f"  mean queue:  {result.mean_queue():.2f} packets")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="OMNC (ICDCS 2008) reproduction toolkit",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("fig1", help="Fig. 1: rate-control convergence").set_defaults(
+        func=_cmd_fig1
+    )
+    fig2 = sub.add_parser("fig2", help="Fig. 2: throughput gains")
+    fig2.add_argument("--quality", choices=("lossy", "high"), default="lossy")
+    fig2.add_argument("--sessions", type=int, default=10)
+    fig2.set_defaults(func=_cmd_fig2)
+    sub.add_parser("fig3", help="Fig. 3: queue sizes").set_defaults(func=_cmd_fig3)
+    sub.add_parser("fig4", help="Fig. 4: utility ratios").set_defaults(func=_cmd_fig4)
+    sub.add_parser(
+        "coding-speed", help="accelerated vs baseline codec"
+    ).set_defaults(func=_cmd_coding_speed)
+    sub.add_parser(
+        "convergence", help="iteration statistics vs the paper's 91"
+    ).set_defaults(func=_cmd_convergence)
+
+    topology = sub.add_parser("topology", help="generate and save a topology")
+    topology.add_argument("output")
+    topology.add_argument("--nodes", type=int, default=120)
+    topology.add_argument("--quality", choices=("lossy", "high"), default="lossy")
+    topology.add_argument("--seed", type=int, default=2008)
+    topology.set_defaults(func=_cmd_topology)
+
+    session = sub.add_parser("session", help="plan + emulate one session")
+    session.add_argument("protocol", choices=("omnc", "more", "oldmore", "etx"))
+    session.add_argument("source", type=int)
+    session.add_argument("destination", type=int)
+    session.add_argument("--topology", help="JSON topology file (else random)")
+    session.add_argument("--nodes", type=int, default=120)
+    session.add_argument("--seconds", type=float, default=120.0)
+    session.add_argument("--generations", type=int, default=4)
+    session.add_argument("--seed", type=int, default=2008)
+    session.set_defaults(func=_cmd_session)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,228 @@
+"""Random linear encoding and re-encoding.
+
+Two roles appear in the paper:
+
+* The **source encoder** holds the full generation matrix B and emits
+  packets ``x = r . B`` for fresh uniform-random coding vectors ``r``
+  (``X = R . B`` in matrix form).
+* The **relay re-encoder** holds only the innovative packets it has
+  received.  To emit a packet it draws fresh random coefficients over its
+  buffer and combines both the coding vectors and (if materialized) the
+  payloads, which "replaces the coding coefficients ... with another set
+  of random coefficients" (Sec. 3.1) and lets one outgoing packet carry
+  information from everything overheard so far.
+
+Both encoders take the field engine as a parameter so they run on either
+the accelerated or the baseline codec.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Type
+
+import numpy as np
+
+from repro.coding.gf256 import GF256
+from repro.coding.generation import Generation
+from repro.coding.packet import CodedPacket
+
+
+class SourceEncoder:
+    """Emit random linear combinations of a full generation."""
+
+    def __init__(
+        self,
+        session_id: int,
+        generation: Generation,
+        rng: np.random.Generator,
+        *,
+        field: Type = GF256,
+        payload: bool = True,
+    ) -> None:
+        self._session_id = session_id
+        self._generation = generation
+        self._rng = rng
+        self._field = field
+        self._payload = payload
+        self._emitted = 0
+
+    @property
+    def generation(self) -> Generation:
+        """The generation currently being encoded."""
+        return self._generation
+
+    @property
+    def emitted(self) -> int:
+        """Number of packets emitted so far for this generation."""
+        return self._emitted
+
+    def next_packet(self) -> CodedPacket:
+        """Draw a fresh coding vector and emit one coded packet.
+
+        A uniformly random vector is all-zero with probability 256^-n;
+        we resample in that (astronomically unlikely) case so that every
+        emitted packet carries information.
+        """
+        n = self._generation.matrix.shape[0]
+        vector = self._rng.integers(0, 256, size=n, dtype=np.uint8)
+        while not np.any(vector):
+            vector = self._rng.integers(0, 256, size=n, dtype=np.uint8)
+        payload = None
+        if self._payload:
+            payload = self._field.matmul(vector[None, :], self._generation.matrix)[0]
+        self._emitted += 1
+        return CodedPacket(
+            session_id=self._session_id,
+            generation_id=self._generation.generation_id,
+            coefficients=vector,
+            payload=payload,
+        )
+
+    def advance(self, generation: Generation) -> None:
+        """Move to the next generation after the destination ACKs."""
+        if generation.generation_id <= self._generation.generation_id:
+            raise ValueError(
+                "generations must advance monotonically: "
+                f"{generation.generation_id} <= {self._generation.generation_id}"
+            )
+        self._generation = generation
+        self._emitted = 0
+
+
+class RelayReEncoder:
+    """Buffer innovative packets and emit fresh random recombinations.
+
+    The relay performs its own innovation check (via an incremental rank
+    filter over coding vectors) so that dependent arrivals are discarded
+    immediately — "an intermediate relay accepts an incoming packet only
+    if it is ... innovative" (Sec. 3.1).
+    """
+
+    def __init__(
+        self,
+        session_id: int,
+        blocks: int,
+        rng: np.random.Generator,
+        *,
+        field: Type = GF256,
+        generation_id: int = 0,
+    ) -> None:
+        if blocks <= 0:
+            raise ValueError(f"blocks must be > 0, got {blocks}")
+        self._session_id = session_id
+        self._blocks = blocks
+        self._rng = rng
+        self._field = field
+        self._generation_id = generation_id
+        self._vectors: List[np.ndarray] = []
+        self._payloads: List[Optional[np.ndarray]] = []
+        # Incremental row-echelon copy of the vectors, used only for the
+        # innovation check; pivots[c] = row index whose pivot is column c.
+        self._echelon: List[np.ndarray] = []
+        self._pivots: dict = {}
+
+    @property
+    def generation_id(self) -> int:
+        """Generation the relay is currently buffering."""
+        return self._generation_id
+
+    @property
+    def buffered(self) -> int:
+        """Number of innovative packets buffered (= current rank)."""
+        return len(self._vectors)
+
+    @property
+    def is_full(self) -> bool:
+        """True once the relay holds a full-rank buffer.
+
+        Such relays "no longer accept packets from upstream nodes since
+        all incoming packets will be non-innovative" (Sec. 4), but keep
+        re-encoding and broadcasting.
+        """
+        return len(self._vectors) >= self._blocks
+
+    def accept(self, packet: CodedPacket) -> bool:
+        """Accept ``packet`` if innovative; return whether it was stored.
+
+        Packets from an expired (lower) generation are rejected; a packet
+        with a *higher* generation ID flushes the buffer and moves the
+        relay forward (Sec. 4).
+        """
+        if packet.session_id != self._session_id:
+            raise ValueError(
+                f"packet belongs to session {packet.session_id}, "
+                f"relay handles {self._session_id}"
+            )
+        if packet.blocks != self._blocks:
+            raise ValueError(
+                f"packet generation size {packet.blocks} != relay's {self._blocks}"
+            )
+        if packet.generation_id < self._generation_id:
+            return False
+        if packet.generation_id > self._generation_id:
+            self.advance(packet.generation_id)
+        if self.is_full:
+            return False
+        residual = self._reduce(packet.coefficients.copy())
+        if residual is None:
+            return False
+        self._vectors.append(packet.coefficients.copy())
+        payload = None if packet.payload is None else packet.payload.copy()
+        self._payloads.append(payload)
+        return True
+
+    def _reduce(self, vector: np.ndarray) -> Optional[np.ndarray]:
+        """Reduce ``vector`` against the echelon; store and return it if a
+        new pivot emerges, else return None (dependent)."""
+        field = self._field
+        for col, row_index in sorted(self._pivots.items()):
+            coeff = int(vector[col])
+            if coeff:
+                field.addmul_row(vector, self._echelon[row_index], coeff)
+        nonzero = np.nonzero(vector)[0]
+        if nonzero.size == 0:
+            return None
+        pivot_col = int(nonzero[0])
+        pivot_value = int(vector[pivot_col])
+        if pivot_value != 1:
+            vector = field.scale_row(vector, int(field.inverse(pivot_value)))
+        self._pivots[pivot_col] = len(self._echelon)
+        self._echelon.append(vector)
+        return vector
+
+    def next_packet(self) -> CodedPacket:
+        """Emit one re-encoded packet over the buffered innovative set.
+
+        Raises ``RuntimeError`` if the buffer is empty (a relay with no
+        information cannot transmit).
+        """
+        if not self._vectors:
+            raise RuntimeError("relay has no innovative packets to re-encode")
+        count = len(self._vectors)
+        mix = self._rng.integers(0, 256, size=count, dtype=np.uint8)
+        while not np.any(mix):
+            mix = self._rng.integers(0, 256, size=count, dtype=np.uint8)
+        stacked = np.stack(self._vectors)
+        out_vector = self._field.matmul(mix[None, :], stacked)[0]
+        out_payload = None
+        if self._payloads[0] is not None:
+            payload_matrix = np.stack(self._payloads)
+            out_payload = self._field.matmul(mix[None, :], payload_matrix)[0]
+        return CodedPacket(
+            session_id=self._session_id,
+            generation_id=self._generation_id,
+            coefficients=out_vector,
+            payload=out_payload,
+        )
+
+    def advance(self, generation_id: int) -> None:
+        """Discard the buffer and move to ``generation_id``."""
+        if generation_id <= self._generation_id:
+            raise ValueError(
+                f"generation must increase: {generation_id} <= {self._generation_id}"
+            )
+        self._generation_id = generation_id
+        self._vectors.clear()
+        self._payloads.clear()
+        self._echelon.clear()
+        self._pivots.clear()

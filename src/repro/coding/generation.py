@@ -1,0 +1,151 @@
+"""Generations: the unit of coding in OMNC.
+
+The paper groups source data into *generations*; each generation is split
+into ``n`` data blocks of ``m`` bytes and represented as an ``n x m``
+matrix ``B`` (rows = blocks, entries = bytes).  The default experiment
+parameters are n = 40 blocks of m = 1024 bytes (Sec. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List
+
+import numpy as np
+
+from repro.util.validation import check_positive, check_type
+
+DEFAULT_BLOCKS_PER_GENERATION = 40
+DEFAULT_BLOCK_SIZE = 1024
+
+
+@dataclass(frozen=True)
+class GenerationParams:
+    """Coding parameters shared by every node in a session.
+
+    Attributes:
+        blocks: number of data blocks per generation (paper: 40).
+        block_size: bytes per block (paper: 1 KB).
+    """
+
+    blocks: int = DEFAULT_BLOCKS_PER_GENERATION
+    block_size: int = DEFAULT_BLOCK_SIZE
+
+    def __post_init__(self) -> None:
+        check_type("blocks", self.blocks, int)
+        check_type("block_size", self.block_size, int)
+        check_positive("blocks", self.blocks)
+        check_positive("block_size", self.block_size)
+
+    @property
+    def generation_bytes(self) -> int:
+        """Payload bytes carried by one full generation."""
+        return self.blocks * self.block_size
+
+
+class Generation:
+    """One generation of source data: the matrix ``B`` plus its identity.
+
+    ``generation_id`` orders generations within a session; relays use it to
+    expire buffered packets when the source moves on (Sec. 4, "Packet and
+    Queue Management").
+    """
+
+    def __init__(self, generation_id: int, matrix: np.ndarray) -> None:
+        check_type("generation_id", generation_id, int)
+        if generation_id < 0:
+            raise ValueError(f"generation_id must be >= 0, got {generation_id}")
+        matrix = np.asarray(matrix, dtype=np.uint8)
+        if matrix.ndim != 2:
+            raise ValueError("generation matrix must be 2-D (blocks x bytes)")
+        if matrix.shape[0] == 0 or matrix.shape[1] == 0:
+            raise ValueError(f"generation matrix must be non-empty, got {matrix.shape}")
+        self._generation_id = generation_id
+        self._matrix = matrix.copy()
+        self._matrix.setflags(write=False)
+
+    @property
+    def generation_id(self) -> int:
+        """Position of this generation in the session's stream."""
+        return self._generation_id
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The read-only ``n x m`` generation matrix B."""
+        return self._matrix
+
+    @property
+    def params(self) -> GenerationParams:
+        """The coding parameters this generation was built with."""
+        return GenerationParams(
+            blocks=self._matrix.shape[0], block_size=self._matrix.shape[1]
+        )
+
+    def to_bytes(self) -> bytes:
+        """Serialize the generation payload (row-major block order)."""
+        return self._matrix.tobytes()
+
+    @classmethod
+    def from_bytes(
+        cls, generation_id: int, data: bytes, params: GenerationParams
+    ) -> "Generation":
+        """Build a generation from raw bytes, zero-padding the final block.
+
+        Raises ``ValueError`` if ``data`` exceeds one generation.
+        """
+        capacity = params.generation_bytes
+        if len(data) > capacity:
+            raise ValueError(
+                f"data ({len(data)} bytes) exceeds generation capacity ({capacity})"
+            )
+        padded = data.ljust(capacity, b"\x00")
+        matrix = np.frombuffer(padded, dtype=np.uint8).reshape(
+            params.blocks, params.block_size
+        )
+        return cls(generation_id, matrix)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Generation):
+            return NotImplemented
+        return self._generation_id == other._generation_id and np.array_equal(
+            self._matrix, other._matrix
+        )
+
+    def __repr__(self) -> str:
+        n, m = self._matrix.shape
+        return f"Generation(id={self._generation_id}, blocks={n}, block_size={m})"
+
+
+def split_into_generations(
+    data: bytes, params: GenerationParams, *, start_id: int = 0
+) -> List[Generation]:
+    """Split an arbitrary byte stream into consecutive generations.
+
+    The final generation is zero-padded; callers that need exact lengths
+    should frame the stream themselves (length prefix) before splitting.
+    """
+    if start_id < 0:
+        raise ValueError(f"start_id must be >= 0, got {start_id}")
+    capacity = params.generation_bytes
+    generations = []
+    for offset, gen_id in zip(range(0, max(len(data), 1), capacity), _count(start_id)):
+        chunk = data[offset : offset + capacity]
+        generations.append(Generation.from_bytes(gen_id, chunk, params))
+    return generations
+
+
+def random_generation(
+    generation_id: int, params: GenerationParams, rng: np.random.Generator
+) -> Generation:
+    """A generation filled with uniform random bytes (for experiments)."""
+    matrix = rng.integers(
+        0, 256, size=(params.blocks, params.block_size), dtype=np.uint8
+    )
+    return Generation(generation_id, matrix)
+
+
+def _count(start: int) -> Iterator[int]:
+    value = start
+    while True:
+        yield value
+        value += 1

@@ -1,0 +1,159 @@
+"""Dense matrix algebra over GF(2^8): RREF, rank, inversion, solving.
+
+These routines back both the offline analysis tools (checking that a set
+of coding vectors spans a generation) and the reference "decode at once"
+path ``B = R^{-1} X`` that the paper contrasts with progressive decoding.
+The progressive decoder itself lives in :mod:`repro.coding.decoder` and
+maintains its own incremental reduced row-echelon state.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple, Type
+
+import numpy as np
+
+from repro.coding.gf256 import GF256
+
+
+def _as_matrix(matrix: np.ndarray) -> np.ndarray:
+    matrix = np.asarray(matrix, dtype=np.uint8)
+    if matrix.ndim != 2:
+        raise ValueError(f"expected a 2-D matrix, got ndim={matrix.ndim}")
+    return matrix
+
+
+def rref(matrix: np.ndarray, field: Type = GF256) -> Tuple[np.ndarray, list]:
+    """Reduced row-echelon form by Gauss-Jordan elimination.
+
+    Returns ``(reduced, pivot_columns)``.  The input is not modified.
+    Zero rows sink to the bottom of the returned matrix.
+    """
+    work = _as_matrix(matrix).copy()
+    rows, cols = work.shape
+    pivot_cols = []
+    pivot_row = 0
+    for col in range(cols):
+        if pivot_row >= rows:
+            break
+        # Find a row at or below pivot_row with a nonzero entry in col.
+        candidates = np.nonzero(work[pivot_row:, col])[0]
+        if candidates.size == 0:
+            continue
+        chosen = pivot_row + int(candidates[0])
+        if chosen != pivot_row:
+            work[[pivot_row, chosen]] = work[[chosen, pivot_row]]
+        # Normalize the pivot row so the pivot entry is 1.
+        pivot_value = int(work[pivot_row, col])
+        if pivot_value != 1:
+            inv = int(field.inverse(pivot_value))
+            work[pivot_row] = field.scale_row(work[pivot_row], inv)
+        # Eliminate the pivot column from every other row.
+        for row in range(rows):
+            if row == pivot_row:
+                continue
+            coeff = int(work[row, col])
+            if coeff:
+                field.addmul_row(work[row], work[pivot_row], coeff)
+        pivot_cols.append(col)
+        pivot_row += 1
+    return work, pivot_cols
+
+
+def rank(matrix: np.ndarray, field: Type = GF256) -> int:
+    """Rank of ``matrix`` over GF(2^8)."""
+    _, pivots = rref(matrix, field)
+    return len(pivots)
+
+
+def is_full_rank(matrix: np.ndarray, field: Type = GF256) -> bool:
+    """True if ``matrix`` has rank equal to min(rows, cols)."""
+    matrix = _as_matrix(matrix)
+    return rank(matrix, field) == min(matrix.shape)
+
+
+def invert(matrix: np.ndarray, field: Type = GF256) -> np.ndarray:
+    """Inverse of a square matrix; raises ``ValueError`` if singular."""
+    matrix = _as_matrix(matrix)
+    n, m = matrix.shape
+    if n != m:
+        raise ValueError(f"only square matrices are invertible, got {matrix.shape}")
+    augmented = np.concatenate([matrix, identity(n)], axis=1)
+    reduced, pivots = rref(augmented, field)
+    if pivots != list(range(n)):
+        raise ValueError("matrix is singular over GF(2^8)")
+    return reduced[:, n:].copy()
+
+
+def solve(coefficients: np.ndarray, payloads: np.ndarray, field: Type = GF256) -> np.ndarray:
+    """Solve ``R . B = X`` for B — the paper's one-shot decode.
+
+    ``coefficients`` is the (n, n) matrix R of coding vectors and
+    ``payloads`` the (n, m) matrix X of coded blocks; the result is the
+    original generation matrix B.
+    """
+    coefficients = _as_matrix(coefficients)
+    payloads = _as_matrix(payloads)
+    if coefficients.shape[0] != payloads.shape[0]:
+        raise ValueError(
+            "coefficient rows must match payload rows: "
+            f"{coefficients.shape} vs {payloads.shape}"
+        )
+    inverse_matrix = invert(coefficients, field)
+    return field.matmul(inverse_matrix, payloads)
+
+
+def identity(n: int) -> np.ndarray:
+    """The n x n identity matrix over GF(2^8)."""
+    if n < 0:
+        raise ValueError(f"n must be >= 0, got {n}")
+    return np.eye(n, dtype=np.uint8)
+
+
+def random_matrix(
+    rows: int,
+    cols: int,
+    rng: np.random.Generator,
+    *,
+    full_rank: bool = False,
+    field: Type = GF256,
+    max_attempts: int = 64,
+) -> np.ndarray:
+    """Uniformly random matrix; optionally resampled until full rank.
+
+    Random matrices over GF(2^8) are full rank with probability about
+    ``prod_{k}(1 - 256^-(k+1)) > 0.996``, so resampling terminates almost
+    immediately; ``max_attempts`` bounds the pathological case.
+    """
+    if rows < 0 or cols < 0:
+        raise ValueError("rows and cols must be >= 0")
+    for _ in range(max_attempts):
+        matrix = rng.integers(0, 256, size=(rows, cols), dtype=np.uint8)
+        if not full_rank or is_full_rank(matrix, field):
+            return matrix
+    raise RuntimeError(
+        f"failed to draw a full-rank {rows}x{cols} matrix in {max_attempts} attempts"
+    )
+
+
+def is_rref(matrix: np.ndarray) -> bool:
+    """Check whether ``matrix`` is in reduced row-echelon form."""
+    matrix = _as_matrix(matrix)
+    last_pivot_col: Optional[int] = None
+    seen_zero_row = False
+    for row in matrix:
+        nonzero = np.nonzero(row)[0]
+        if nonzero.size == 0:
+            seen_zero_row = True
+            continue
+        if seen_zero_row:
+            return False  # nonzero row below a zero row
+        col = int(nonzero[0])
+        if row[col] != 1:
+            return False  # pivot not normalized
+        if last_pivot_col is not None and col <= last_pivot_col:
+            return False  # pivots not strictly right-moving
+        if np.count_nonzero(matrix[:, col]) != 1:
+            return False  # pivot column not cleared elsewhere
+        last_pivot_col = col
+    return True

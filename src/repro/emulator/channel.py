@@ -1,0 +1,71 @@
+"""The lossy broadcast channel.
+
+One transmission by node i is independently received by every in-range
+node j with probability p_ij — the opportunistic-reception model OMNC is
+built to exploit.  The scheduler has already ruled out collisions, so
+loss draws are the only source of packet erasure.
+
+Draws come from a dedicated generator so channel randomness is decoupled
+from coding/placement randomness (see :class:`repro.util.RngFactory`).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.topology.graph import WirelessNetwork
+from repro.util.rng import RngLike, as_rng
+
+
+class LossyBroadcastChannel:
+    """Draw per-receiver reception outcomes for broadcast transmissions."""
+
+    def __init__(self, network: WirelessNetwork, *, rng: RngLike = None) -> None:
+        self._network = network
+        self._rng = as_rng(rng)
+        self._transmissions = 0
+        self._deliveries = 0
+
+    @property
+    def transmissions(self) -> int:
+        """Broadcast transmissions carried so far."""
+        return self._transmissions
+
+    @property
+    def deliveries(self) -> int:
+        """Successful (transmitter, receiver) deliveries so far."""
+        return self._deliveries
+
+    def broadcast(
+        self, transmitter: int, receivers: Iterable[int]
+    ) -> Tuple[int, ...]:
+        """One broadcast: return the subset of ``receivers`` that heard it.
+
+        Receivers without a link from the transmitter never receive.
+        """
+        candidates = [
+            (j, self._network.probability(transmitter, j)) for j in receivers
+        ]
+        candidates = [(j, p) for j, p in candidates if p > 0.0]
+        self._transmissions += 1
+        if not candidates:
+            return ()
+        draws = self._rng.random(len(candidates))
+        delivered = tuple(
+            j for (j, p), u in zip(candidates, draws) if u < p
+        )
+        self._deliveries += len(delivered)
+        return delivered
+
+    def unicast(self, transmitter: int, receiver: int) -> bool:
+        """One unicast attempt; True on success."""
+        p = self._network.probability(transmitter, receiver)
+        self._transmissions += 1
+        if p <= 0.0:
+            return False
+        success = bool(self._rng.random() < p)
+        if success:
+            self._deliveries += 1
+        return success

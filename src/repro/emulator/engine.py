@@ -1,0 +1,259 @@
+"""The slotted emulation engine.
+
+Time advances in packet slots (one slot = the airtime of one packet at
+the MAC channel capacity).  Each slot:
+
+1. every runtime accrues credits / generates packets (``on_slot``);
+2. the ideal MAC scheduler grants a conflict-free transmitter set;
+3. granted coded transmitters broadcast — every in-range participant
+   draws an independent reception; granted unicast transmitters attempt
+   their head-of-line packet toward the next hop (failure = MAC
+   retransmission later);
+4. queue lengths are sampled for the Fig. 3 statistics.
+
+The engine is protocol-agnostic: behaviour differences live entirely in
+the runtimes (:mod:`repro.emulator.node`) and the plans that configured
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.emulator.channel import LossyBroadcastChannel
+from repro.emulator.node import NodeRuntime, UnicastRuntime
+from repro.emulator.scheduler import ConflictGraph, IdealMacScheduler
+from repro.emulator.trace import SessionTracer
+from repro.topology.graph import Link, WirelessNetwork
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters maintained by the engine during a run."""
+
+    slots: int = 0
+    elapsed: float = 0.0
+    grants: int = 0
+    queue_time_sum: Dict[int, float] = field(default_factory=dict)
+    transmissions: Dict[int, int] = field(default_factory=dict)
+    delivered_links: Set[Link] = field(default_factory=set)
+
+    def average_queue(self, node: int) -> float:
+        """Time-averaged queue length of ``node``."""
+        if self.slots == 0:
+            return 0.0
+        return self.queue_time_sum.get(node, 0.0) / self.slots
+
+
+class EmulationEngine:
+    """Run one session's runtimes over the ideal MAC and lossy channel."""
+
+    def __init__(
+        self,
+        network: WirelessNetwork,
+        runtimes: Dict[int, NodeRuntime],
+        channel: LossyBroadcastChannel,
+        slot_duration: float,
+        *,
+        scheduler_rng: Optional[np.random.Generator] = None,
+        capture_rng: Optional[np.random.Generator] = None,
+        interference: str = "blanking",
+        tracer: Optional[SessionTracer] = None,
+    ) -> None:
+        if slot_duration <= 0:
+            raise ValueError(f"slot_duration must be > 0, got {slot_duration}")
+        if interference not in ("blanking", "capture", "conflict_free"):
+            raise ValueError(f"unknown interference model {interference!r}")
+        self._network = network
+        self._runtimes = dict(runtimes)
+        self._channel = channel
+        self._dt = slot_duration
+        self._interference = interference
+        self._conflicts = ConflictGraph(
+            network,
+            runtimes.keys(),
+            two_hop=(interference == "conflict_free"),
+        )
+        self._scheduler = IdealMacScheduler(self._conflicts, rng=scheduler_rng)
+        self._rng = (
+            capture_rng if capture_rng is not None else np.random.default_rng(1)
+        )
+        self._pending_unicast: Dict[int, bool] = {}
+        self._tracer = tracer
+        self._stats = EngineStats(
+            queue_time_sum={n: 0.0 for n in runtimes},
+            transmissions={n: 0 for n in runtimes},
+        )
+
+    @property
+    def stats(self) -> EngineStats:
+        """Counters collected so far."""
+        return self._stats
+
+    @property
+    def now(self) -> float:
+        """Emulated seconds elapsed."""
+        return self._stats.elapsed
+
+    @property
+    def slot_duration(self) -> float:
+        """Seconds of airtime per slot."""
+        return self._dt
+
+    def run(
+        self,
+        max_slots: int,
+        *,
+        stop_when: Optional[Callable[[], bool]] = None,
+    ) -> EngineStats:
+        """Advance up to ``max_slots`` slots; ``stop_when`` checked each
+        slot after delivery processing."""
+        if max_slots < 0:
+            raise ValueError(f"max_slots must be >= 0, got {max_slots}")
+        for _ in range(max_slots):
+            self.step()
+            if stop_when is not None and stop_when():
+                break
+        return self._stats
+
+    def step(self) -> Tuple[int, ...]:
+        """Execute one slot; returns the granted transmitter set."""
+        for runtime in self._runtimes.values():
+            runtime.on_slot(self._dt)
+        backlogs = {
+            node: runtime.backlog() for node, runtime in self._runtimes.items()
+        }
+        weights = {
+            node: runtime.demand_rate(self._dt)
+            for node, runtime in self._runtimes.items()
+        }
+        granted = self._scheduler.schedule(backlogs, weights)
+        if self._tracer is not None:
+            for node in granted:
+                self._tracer.record(
+                    self._stats.slots, self._stats.elapsed, "grant", node
+                )
+        self._deliver(granted)
+        for node, runtime in self._runtimes.items():
+            self._stats.queue_time_sum[node] += runtime.queue_length()
+        self._stats.slots += 1
+        self._stats.elapsed += self._dt
+        self._stats.grants += len(granted)
+        return granted
+
+    def _record_tx(self, node: int) -> None:
+        if self._tracer is not None:
+            self._tracer.record(
+                self._stats.slots, self._stats.elapsed, "tx", node
+            )
+
+    def _deliver(self, granted: Tuple[int, ...]) -> None:
+        """Resolve one slot's transmissions into per-receiver deliveries.
+
+        The granted set is conflict-free under the scheduler's relation.
+        What happens when two granted transmitters still cover a common
+        receiver depends on the interference model:
+
+        * ``"blanking"`` (default; Drift's model, Sec. 5: "a node cannot
+          receive packets if it falls in the range of an interfering
+          node") — the receiver hears nothing that slot.  Uncontrolled
+          saturation therefore costs throughput quadratically, which is
+          exactly the congestion penalty OMNC's rate control is designed
+          to avoid.
+        * ``"capture"`` — the receiver keeps exactly one of the arrivals
+          (uniform choice): an idealized receiver that time-shares its
+          airtime, the fluid reading of broadcast constraint (4).
+        * ``"conflict_free"`` — cannot happen: the scheduler already
+          serializes shared-receiver transmitters (two-hop conflicts),
+          the Sec. 3.2 idealized broadcast MAC.
+        """
+        granted_set = set(granted)
+        # Phase 1: fire transmissions and draw per-link receptions.
+        offers: Dict[int, List[Tuple[int, object]]] = {}
+        covered: Dict[int, int] = {}
+        for node in granted:
+            for j in self._network.neighbors(node):
+                covered[j] = covered.get(j, 0) + 1
+        for node in granted:
+            runtime = self._runtimes[node]
+            if isinstance(runtime, UnicastRuntime):
+                sequence = runtime.peek_sequence()
+                if sequence is None:
+                    continue
+                target = runtime.next_hop
+                assert target is not None
+                self._stats.transmissions[node] += 1
+                self._record_tx(node)
+                self._pending_unicast[node] = False
+                if target in granted_set:
+                    continue  # half-duplex: a transmitter cannot receive
+                if self._interference == "blanking" and covered.get(target, 0) > 1:
+                    continue  # hidden-terminal collision at the receiver
+                if self._channel.unicast(node, target):
+                    offers.setdefault(target, []).append((node, sequence))
+            else:
+                packet = runtime.pop_transmission()
+                if packet is None:
+                    continue
+                self._stats.transmissions[node] += 1
+                self._record_tx(node)
+                receivers = [
+                    j
+                    for j in self._network.neighbors(node)
+                    if j in self._runtimes and j not in granted_set
+                ]
+                if self._interference == "blanking":
+                    receivers = [j for j in receivers if covered.get(j, 0) <= 1]
+                for j in self._channel.broadcast(node, receivers):
+                    offers.setdefault(j, []).append((node, packet))
+        # Phase 2: per-receiver resolution — at most one delivery per slot.
+        for receiver, arrivals in offers.items():
+            if len(arrivals) == 1:
+                sender, payload = arrivals[0]
+            else:
+                index = int(self._rng.integers(0, len(arrivals)))
+                sender, payload = arrivals[index]
+            self._stats.delivered_links.add((sender, receiver))
+            if self._tracer is not None:
+                self._tracer.record(
+                    self._stats.slots,
+                    self._stats.elapsed,
+                    "delivery",
+                    sender,
+                    peer=receiver,
+                )
+            runtime = self._runtimes[receiver]
+            if isinstance(self._runtimes[sender], UnicastRuntime):
+                self._pending_unicast[sender] = True
+                assert isinstance(runtime, UnicastRuntime)
+                runtime.receive_sequence(payload)  # type: ignore[arg-type]
+            elif not isinstance(runtime, UnicastRuntime):
+                runtime.on_receive(payload, sender)  # type: ignore[arg-type]
+        # Phase 3: settle unicast attempts (success = resolved delivery).
+        for node in granted:
+            runtime = self._runtimes[node]
+            if isinstance(runtime, UnicastRuntime) and node in self._pending_unicast:
+                runtime.complete_transmission(self._pending_unicast.pop(node))
+
+    def broadcast_generation_advance(self, generation_id: int) -> None:
+        """Propagate an ACK/next-generation signal to every runtime.
+
+        The paper sends the uncoded ACK over best-path routing; relays
+        additionally expire on seeing newer-generation packets.  We model
+        the ACK as fast and reliable (it is a single small packet on a
+        high-quality path) and apply it at the slot boundary.
+        """
+        if self._tracer is not None:
+            # The destination's decode event; detail = the new generation.
+            self._tracer.record(
+                self._stats.slots,
+                self._stats.elapsed,
+                "ack",
+                -1,
+                detail=generation_id,
+            )
+        for runtime in self._runtimes.values():
+            runtime.advance_generation(generation_id)

@@ -1,0 +1,683 @@
+"""Node runtimes: the per-node data planes the emulator executes.
+
+Three behaviours cover the four protocols (paper Sec. 5):
+
+* :class:`CodedSourceRuntime` — streams fresh random linear combinations
+  of the current generation.  Rate-driven for OMNC (the allocated b_S) or
+  offered-load-driven for MORE/oldMORE (CBR until ACK).
+* :class:`CodedRelayRuntime` — buffers innovative packets and re-encodes.
+  Transmission pressure comes either from an allocated rate (OMNC) or
+  from TX credits earned per packet heard from upstream (MORE/oldMORE).
+* :class:`CodedDestinationRuntime` — progressive Gauss-Jordan decoding;
+  fires a callback the instant a generation reaches full rank (the ACK).
+* :class:`UnicastRuntime` — classic store-and-forward FIFO for ETX
+  routing, with MAC-layer retransmissions handled by the engine.
+
+All coded runtimes run in coefficient-only mode: coding vectors are
+simulated exactly (innovation, rank, decodability are all real), payload
+bytes are not materialized — they would be multiplied by the same
+coefficients and carry no additional information for the metrics.  The
+examples demonstrate full-payload operation end-to-end.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.coding.decoder import ProgressiveDecoder
+from repro.coding.encoder import RelayReEncoder, SourceEncoder
+from repro.coding.generation import Generation
+from repro.coding.packet import CodedPacket
+
+DEFAULT_QUEUE_LIMIT = 500
+
+
+class NodeRuntime:
+    """Interface every emulated node implements."""
+
+    def __init__(self, node_id: int) -> None:
+        self.node_id = node_id
+
+    def on_slot(self, dt: float) -> None:
+        """Advance local clocks/credits by one slot of ``dt`` seconds."""
+
+    def backlog(self) -> float:
+        """Transmission pressure for the scheduler (0 = nothing to send)."""
+        return 0.0
+
+    def demand_rate(self, dt: float) -> float:
+        """Intended transmission rate in packets per slot of ``dt`` s.
+
+        The ideal MAC uses this as the scheduling weight so that grants
+        realize (or proportionally rescale) each node's intended rate.
+        """
+        return 0.0
+
+    def pop_transmission(self) -> Optional[CodedPacket]:
+        """Dequeue the packet to transmit this slot (None if drained)."""
+        return None
+
+    def on_receive(self, packet: CodedPacket, sender: int) -> None:
+        """Handle a delivered packet."""
+
+    def queue_length(self) -> int:
+        """Current broadcast-queue occupancy (the Fig. 3 metric)."""
+        return 0
+
+    def advance_generation(self, generation_id: int) -> None:
+        """React to the session moving to ``generation_id`` (ACK heard)."""
+
+
+class CodedSourceRuntime(NodeRuntime):
+    """The session source: generate coded packets at a target rate."""
+
+    def __init__(
+        self,
+        node_id: int,
+        session_id: int,
+        blocks: int,
+        rate_bps: float,
+        packet_bytes: int,
+        rng: np.random.Generator,
+        *,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    ) -> None:
+        super().__init__(node_id)
+        if rate_bps < 0:
+            raise ValueError(f"rate_bps must be >= 0, got {rate_bps}")
+        if packet_bytes <= 0:
+            raise ValueError(f"packet_bytes must be > 0, got {packet_bytes}")
+        self._session_id = session_id
+        self._blocks = blocks
+        self._rate = rate_bps
+        self._packet_bytes = packet_bytes
+        self._rng = rng
+        self._queue_limit = queue_limit
+        self._credit = 0.0
+        self._queue: Deque[CodedPacket] = deque()
+        self._generation_id = 0
+        self._encoder = self._make_encoder(0)
+        self.packets_generated = 0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+
+    def _make_encoder(self, generation_id: int) -> SourceEncoder:
+        # Coefficient-only generations: a 1-byte-per-block stand-in matrix
+        # keeps the SourceEncoder interface while payloads stay virtual.
+        matrix = np.zeros((self._blocks, 1), dtype=np.uint8)
+        return SourceEncoder(
+            self._session_id,
+            Generation(generation_id, matrix),
+            self._rng,
+            payload=False,
+        )
+
+    def on_slot(self, dt: float) -> None:
+        self._credit += self._rate * dt / self._packet_bytes
+        # A saturated queue sheds load instead of banking credit, so the
+        # source cannot burst-flush stale credit after an ACK.
+        while self._credit >= 1.0:
+            self._credit -= 1.0
+            if len(self._queue) >= self._queue_limit:
+                self.packets_dropped += 1
+                continue
+            self._queue.append(self._encoder.next_packet())
+            self.packets_generated += 1
+
+    def backlog(self) -> float:
+        return float(len(self._queue))
+
+    def demand_rate(self, dt: float) -> float:
+        return self._rate * dt / self._packet_bytes
+
+    def pop_transmission(self) -> Optional[CodedPacket]:
+        if not self._queue:
+            return None
+        self.packets_sent += 1
+        return self._queue.popleft()
+
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def advance_generation(self, generation_id: int) -> None:
+        if generation_id <= self._generation_id:
+            return
+        self._generation_id = generation_id
+        self._encoder = self._make_encoder(generation_id)
+        self._queue.clear()
+        # Credit persists: the source keeps its long-run rate across
+        # generation boundaries.
+
+
+class CodedRelayRuntime(NodeRuntime):
+    """An intermediate forwarder: buffer innovative packets, re-encode.
+
+    ``mode="rate"`` (OMNC): transmission credit accrues at the allocated
+    broadcast rate.  ``mode="credit"`` (MORE/oldMORE): credit jumps by
+    ``tx_credit`` whenever a packet arrives from an *upstream* node (one
+    farther from the destination, per ``upstream`` set).
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        session_id: int,
+        blocks: int,
+        packet_bytes: int,
+        rng: np.random.Generator,
+        *,
+        mode: str,
+        rate_bps: float = 0.0,
+        tx_credit: float = 0.0,
+        upstream: Tuple[int, ...] = (),
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    ) -> None:
+        super().__init__(node_id)
+        if mode not in ("rate", "credit"):
+            raise ValueError(f"unknown relay mode {mode!r}")
+        if rate_bps < 0 or tx_credit < 0:
+            raise ValueError("rate_bps and tx_credit must be >= 0")
+        self._session_id = session_id
+        self._blocks = blocks
+        self._packet_bytes = packet_bytes
+        self._rng = rng
+        self._mode = mode
+        self._rate = rate_bps
+        self._tx_credit = tx_credit
+        self._upstream = frozenset(upstream)
+        self._queue_limit = queue_limit
+        self._buffer = RelayReEncoder(session_id, blocks, rng)
+        self._credit = 0.0
+        self._queue: Deque[CodedPacket] = deque()
+        self._demand_ewma = 0.2
+        self._enqueued_this_slot = 0.0
+        self.packets_heard = 0
+        self.packets_accepted = 0
+        self.packets_generated = 0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+
+    # Rate credit banked while the buffer is empty is bounded so that a
+    # late-starting relay cannot burst a flood of near-identical packets
+    # from a low-rank buffer the moment content arrives.
+    _CREDIT_CAP = 3.0
+
+    # EWMA constant for the credit-mode demand estimate (packets/slot).
+    _DEMAND_SMOOTHING = 0.02
+
+    @property
+    def buffered(self) -> int:
+        """Innovative packets currently buffered."""
+        return self._buffer.buffered
+
+    def on_slot(self, dt: float) -> None:
+        if self._mode == "rate":
+            self._credit = min(
+                self._credit + self._rate * dt / self._packet_bytes,
+                self._CREDIT_CAP,
+            )
+        self._drain_credit()
+        if self._mode == "credit":
+            # Demand estimate for the scheduler: smoothed enqueue rate.
+            self._demand_ewma += self._DEMAND_SMOOTHING * (
+                self._enqueued_this_slot - self._demand_ewma
+            )
+            self._enqueued_this_slot = 0.0
+
+    def _drain_credit(self) -> None:
+        while self._credit >= 1.0 and self._buffer.buffered > 0:
+            self._credit -= 1.0
+            if len(self._queue) >= self._queue_limit:
+                self.packets_dropped += 1
+                continue
+            self._queue.append(self._buffer.next_packet())
+            self.packets_generated += 1
+            self._enqueued_this_slot += 1.0
+
+    def backlog(self) -> float:
+        return float(len(self._queue))
+
+    def demand_rate(self, dt: float) -> float:
+        if self._mode == "rate":
+            return self._rate * dt / self._packet_bytes
+        return self._demand_ewma
+
+    def pop_transmission(self) -> Optional[CodedPacket]:
+        if not self._queue:
+            return None
+        self.packets_sent += 1
+        return self._queue.popleft()
+
+    def on_receive(self, packet: CodedPacket, sender: int) -> None:
+        self.packets_heard += 1
+        if packet.generation_id > self._buffer.generation_id:
+            # A newer generation implicitly expires the old one (Sec. 4).
+            self.advance_generation(packet.generation_id)
+        accepted = self._buffer.accept(packet)
+        if accepted:
+            self.packets_accepted += 1
+        if self._mode == "credit" and sender in self._upstream:
+            # MORE's counter increments per packet *heard* from upstream,
+            # innovative or not — the heuristic reasons about receptions.
+            self._credit += self._tx_credit
+            self._drain_credit()
+
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def advance_generation(self, generation_id: int) -> None:
+        if generation_id <= self._buffer.generation_id:
+            return
+        self._buffer.advance(generation_id)
+        self._queue.clear()
+        if self._mode == "credit":
+            self._credit = 0.0
+
+
+class CodedDestinationRuntime(NodeRuntime):
+    """The destination: progressive decoding plus the decoded-ACK signal."""
+
+    def __init__(
+        self,
+        node_id: int,
+        session_id: int,
+        blocks: int,
+        on_decoded: Callable[[int], None],
+    ) -> None:
+        super().__init__(node_id)
+        self._session_id = session_id
+        self._blocks = blocks
+        self._on_decoded = on_decoded
+        self._generation_id = 0
+        self._decoder = ProgressiveDecoder(blocks)
+        self.packets_heard = 0
+        self.innovative_received = 0
+        self.generations_decoded = 0
+
+    @property
+    def rank(self) -> int:
+        """Current decoder rank for the active generation."""
+        return self._decoder.rank
+
+    def on_receive(self, packet: CodedPacket, sender: int) -> None:
+        if packet.session_id != self._session_id:
+            return
+        if packet.generation_id != self._generation_id:
+            return  # stale or early packet for another generation
+        self.packets_heard += 1
+        if self._decoder.is_complete:
+            return
+        if self._decoder.add_packet(packet):
+            self.innovative_received += 1
+            if self._decoder.is_complete:
+                self.generations_decoded += 1
+                # The uncoded ACK travels back to the source; the session
+                # driver models its (fast, reliable) best-path delivery.
+                self._on_decoded(self._generation_id)
+
+    def advance_generation(self, generation_id: int) -> None:
+        if generation_id <= self._generation_id:
+            return
+        self._generation_id = generation_id
+        self._decoder = ProgressiveDecoder(self._blocks)
+
+
+class FlowPacket:
+    """A coded packet under information-flow fidelity.
+
+    The paper's model treats packet streams through distinct relays as
+    independent with high probability (Sec. 3.2) and counts information
+    in units of innovative packets: "a dependent packet does not
+    contribute to the information flow and is not counted in".  Under
+    flow fidelity a packet carries its sender's information level; the
+    receiver gains one unit iff the sender knew more than it does —
+    the fluid limit of random linear coding under the paper's
+    independence assumption.  Exact GF(2^8) fidelity (the default
+    runtimes above) is kept for the ablation that quantifies what this
+    assumption is worth.
+    """
+
+    __slots__ = ("session_id", "generation_id", "content")
+
+    def __init__(self, session_id: int, generation_id: int, content: float) -> None:
+        self.session_id = session_id
+        self.generation_id = generation_id
+        self.content = content
+
+    def __repr__(self) -> str:
+        return (
+            f"FlowPacket(session={self.session_id}, gen={self.generation_id}, "
+            f"content={self.content:.2f})"
+        )
+
+
+class FlowSourceRuntime(NodeRuntime):
+    """Flow-fidelity source: every packet carries full knowledge."""
+
+    def __init__(
+        self,
+        node_id: int,
+        session_id: int,
+        blocks: int,
+        rate_bps: float,
+        packet_bytes: int,
+        *,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    ) -> None:
+        super().__init__(node_id)
+        if rate_bps < 0:
+            raise ValueError(f"rate_bps must be >= 0, got {rate_bps}")
+        if packet_bytes <= 0:
+            raise ValueError(f"packet_bytes must be > 0, got {packet_bytes}")
+        self._session_id = session_id
+        self._blocks = blocks
+        self._rate = rate_bps
+        self._packet_bytes = packet_bytes
+        self._queue_limit = queue_limit
+        self._credit = 0.0
+        self._queue: Deque[FlowPacket] = deque()
+        self._generation_id = 0
+        self.packets_generated = 0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+
+    def on_slot(self, dt: float) -> None:
+        self._credit += self._rate * dt / self._packet_bytes
+        while self._credit >= 1.0:
+            self._credit -= 1.0
+            if len(self._queue) >= self._queue_limit:
+                self.packets_dropped += 1
+                continue
+            self._queue.append(
+                FlowPacket(self._session_id, self._generation_id, float(self._blocks))
+            )
+            self.packets_generated += 1
+
+    def backlog(self) -> float:
+        return float(len(self._queue))
+
+    def demand_rate(self, dt: float) -> float:
+        return self._rate * dt / self._packet_bytes
+
+    def pop_transmission(self):
+        if not self._queue:
+            return None
+        self.packets_sent += 1
+        return self._queue.popleft()
+
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def advance_generation(self, generation_id: int) -> None:
+        if generation_id <= self._generation_id:
+            return
+        self._generation_id = generation_id
+        self._queue.clear()
+
+
+class FlowRelayRuntime(NodeRuntime):
+    """Flow-fidelity relay: information level instead of a subspace.
+
+    The relay's state is a scalar ``information`` level in [0, blocks];
+    a delivery from a sender whose packet carries more content raises it
+    by one unit.  Outgoing packets carry the relay's current level.
+    Transmission pressure follows the same two modes as the exact relay
+    (allocated rate, or MORE credits).
+    """
+
+    _CREDIT_CAP = 3.0
+    _DEMAND_SMOOTHING = 0.02
+
+    def __init__(
+        self,
+        node_id: int,
+        session_id: int,
+        blocks: int,
+        packet_bytes: int,
+        *,
+        mode: str,
+        rate_bps: float = 0.0,
+        tx_credit: float = 0.0,
+        upstream: Tuple[int, ...] = (),
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+    ) -> None:
+        super().__init__(node_id)
+        if mode not in ("rate", "credit"):
+            raise ValueError(f"unknown relay mode {mode!r}")
+        if rate_bps < 0 or tx_credit < 0:
+            raise ValueError("rate_bps and tx_credit must be >= 0")
+        self._session_id = session_id
+        self._blocks = blocks
+        self._packet_bytes = packet_bytes
+        self._mode = mode
+        self._rate = rate_bps
+        self._tx_credit = tx_credit
+        self._upstream = frozenset(upstream)
+        self._queue_limit = queue_limit
+        self._generation_id = 0
+        self.information = 0.0
+        self._credit = 0.0
+        self._queue: Deque[FlowPacket] = deque()
+        self._demand_ewma = 0.2
+        self._enqueued_this_slot = 0.0
+        self.packets_heard = 0
+        self.packets_accepted = 0
+        self.packets_generated = 0
+        self.packets_sent = 0
+        self.packets_dropped = 0
+
+    @property
+    def buffered(self) -> int:
+        """Information units held (the flow analogue of buffer rank)."""
+        return int(self.information)
+
+    def on_slot(self, dt: float) -> None:
+        if self._mode == "rate":
+            self._credit = min(
+                self._credit + self._rate * dt / self._packet_bytes,
+                self._CREDIT_CAP,
+            )
+        self._drain_credit()
+        if self._mode == "credit":
+            self._demand_ewma += self._DEMAND_SMOOTHING * (
+                self._enqueued_this_slot - self._demand_ewma
+            )
+            self._enqueued_this_slot = 0.0
+
+    def _drain_credit(self) -> None:
+        while self._credit >= 1.0 and self.information > 0.0:
+            self._credit -= 1.0
+            if len(self._queue) >= self._queue_limit:
+                self.packets_dropped += 1
+                continue
+            self._queue.append(
+                FlowPacket(self._session_id, self._generation_id, self.information)
+            )
+            self.packets_generated += 1
+            self._enqueued_this_slot += 1.0
+
+    def backlog(self) -> float:
+        return float(len(self._queue))
+
+    def demand_rate(self, dt: float) -> float:
+        if self._mode == "rate":
+            return self._rate * dt / self._packet_bytes
+        return self._demand_ewma
+
+    def pop_transmission(self):
+        if not self._queue:
+            return None
+        self.packets_sent += 1
+        return self._queue.popleft()
+
+    def on_receive(self, packet, sender: int) -> None:
+        self.packets_heard += 1
+        if packet.generation_id > self._generation_id:
+            self.advance_generation(packet.generation_id)
+        if packet.generation_id == self._generation_id:
+            if packet.content > self.information and self.information < self._blocks:
+                self.information = min(float(self._blocks), self.information + 1.0)
+                self.packets_accepted += 1
+        if self._mode == "credit" and sender in self._upstream:
+            self._credit += self._tx_credit
+            self._drain_credit()
+
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def advance_generation(self, generation_id: int) -> None:
+        if generation_id <= self._generation_id:
+            return
+        self._generation_id = generation_id
+        self.information = 0.0
+        self._queue.clear()
+        if self._mode == "credit":
+            self._credit = 0.0
+
+
+class FlowDestinationRuntime(NodeRuntime):
+    """Flow-fidelity destination: ACKs once ``blocks`` units arrive."""
+
+    def __init__(
+        self,
+        node_id: int,
+        session_id: int,
+        blocks: int,
+        on_decoded: Callable[[int], None],
+    ) -> None:
+        super().__init__(node_id)
+        self._session_id = session_id
+        self._blocks = blocks
+        self._on_decoded = on_decoded
+        self._generation_id = 0
+        self.information = 0.0
+        self.packets_heard = 0
+        self.innovative_received = 0
+        self.generations_decoded = 0
+
+    @property
+    def rank(self) -> int:
+        """Information units gathered for the active generation."""
+        return int(self.information)
+
+    def on_receive(self, packet, sender: int) -> None:
+        if packet.session_id != self._session_id:
+            return
+        if packet.generation_id != self._generation_id:
+            return
+        self.packets_heard += 1
+        if self.information >= self._blocks:
+            return
+        if packet.content > self.information:
+            self.information += 1.0
+            self.innovative_received += 1
+            if self.information >= self._blocks:
+                self.generations_decoded += 1
+                self._on_decoded(self._generation_id)
+
+    def advance_generation(self, generation_id: int) -> None:
+        if generation_id <= self._generation_id:
+            return
+        self._generation_id = generation_id
+        self.information = 0.0
+
+
+class UnicastRuntime(NodeRuntime):
+    """Store-and-forward FIFO node for ETX best-path routing.
+
+    The source generates sequence-numbered packets at the offered load;
+    relays forward toward ``next_hop``; the engine retries failed
+    transmissions (MAC retransmissions), so the head packet stays queued
+    until it crosses.
+    """
+
+    def __init__(
+        self,
+        node_id: int,
+        next_hop: Optional[int],
+        *,
+        rate_bps: float = 0.0,
+        packet_bytes: int = 1,
+        queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        on_delivered: Optional[Callable[[int], None]] = None,
+        demand_hint_bps: float = 0.0,
+    ) -> None:
+        super().__init__(node_id)
+        if rate_bps < 0:
+            raise ValueError(f"rate_bps must be >= 0, got {rate_bps}")
+        if demand_hint_bps < 0:
+            raise ValueError(f"demand_hint_bps must be >= 0, got {demand_hint_bps}")
+        self._next_hop = next_hop
+        self._rate = rate_bps
+        self._packet_bytes = packet_bytes
+        self._queue_limit = queue_limit
+        self._on_delivered = on_delivered
+        # Airtime the node needs to sustain the offered load across its
+        # lossy next hop (arrival rate x expected retransmissions); the
+        # session builder computes it from the path and link qualities.
+        self._demand_hint = demand_hint_bps
+        self._credit = 0.0
+        self._queue: Deque[int] = deque()  # sequence numbers
+        self._next_seq = 0
+        self.packets_generated = 0
+        self.packets_sent = 0
+        self.packets_delivered = 0
+        self.packets_dropped = 0
+
+    @property
+    def next_hop(self) -> Optional[int]:
+        """Downstream node, or None at the destination."""
+        return self._next_hop
+
+    def on_slot(self, dt: float) -> None:
+        if self._rate <= 0:
+            return
+        self._credit += self._rate * dt / self._packet_bytes
+        while self._credit >= 1.0:
+            self._credit -= 1.0
+            if len(self._queue) >= self._queue_limit:
+                self.packets_dropped += 1
+                continue
+            self._queue.append(self._next_seq)
+            self._next_seq += 1
+            self.packets_generated += 1
+
+    def backlog(self) -> float:
+        if self._next_hop is None:
+            return 0.0
+        return float(len(self._queue))
+
+    def demand_rate(self, dt: float) -> float:
+        return self._demand_hint * dt / self._packet_bytes
+
+    def peek_sequence(self) -> Optional[int]:
+        """Head-of-line packet (stays queued until the hop succeeds)."""
+        if not self._queue or self._next_hop is None:
+            return None
+        return self._queue[0]
+
+    def complete_transmission(self, success: bool) -> None:
+        """Engine callback after a unicast attempt on the head packet."""
+        if not self._queue:
+            raise RuntimeError("no in-flight packet to complete")
+        self.packets_sent += 1
+        if success:
+            self._queue.popleft()
+
+    def receive_sequence(self, sequence: int) -> None:
+        """A packet arrived from upstream."""
+        if self._next_hop is None:
+            self.packets_delivered += 1
+            if self._on_delivered is not None:
+                self._on_delivered(sequence)
+            return
+        if len(self._queue) >= self._queue_limit:
+            self.packets_dropped += 1
+            return
+        self._queue.append(sequence)
+
+    def queue_length(self) -> int:
+        return len(self._queue)

@@ -1,0 +1,204 @@
+"""Session metrics: throughput gains, queue statistics, utility ratios.
+
+These functions turn :class:`~repro.emulator.session.SessionResult`
+objects into the quantities the paper's figures plot:
+
+* **throughput gain** (Fig. 2) — a protocol's throughput divided by ETX
+  routing's on the identical session;
+* **time-averaged queue size** (Fig. 3) — per node involved in the
+  transmission;
+* **node / path utility ratios** (Fig. 4) — how much of the selected
+  forwarder set and of the available path diversity a protocol actually
+  used.  Paths are counted exactly with linear-time DAG dynamic
+  programming (the selected forwarder graph is acyclic by construction:
+  every link strictly decreases ETX distance).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.emulator.session import SessionResult
+from repro.routing.node_selection import ForwarderSet
+from repro.topology.graph import Link
+
+
+def throughput_gain(result: SessionResult, baseline: SessionResult) -> float:
+    """Protocol throughput over the ETX baseline's (Fig. 2 metric).
+
+    Returns ``inf`` when the baseline starved but the protocol moved
+    data; 0 when both starved.
+    """
+    if baseline.throughput_bps > 0:
+        return result.throughput_bps / baseline.throughput_bps
+    return float("inf") if result.throughput_bps > 0 else 0.0
+
+
+def count_dag_paths(
+    links: Iterable[Link], source: int, destination: int
+) -> int:
+    """Exact number of source->destination paths in a DAG.
+
+    Raises ``ValueError`` if the link set contains a cycle (cannot happen
+    for selection DAGs; the guard catches misuse).
+    """
+    adjacency: Dict[int, List[int]] = {}
+    nodes = {source, destination}
+    for i, j in links:
+        adjacency.setdefault(i, []).append(j)
+        nodes.add(i)
+        nodes.add(j)
+    order = _topological_order(nodes, adjacency)
+    counts: Dict[int, int] = {node: 0 for node in nodes}
+    counts[destination] = 1
+    for node in reversed(order):
+        if node == destination:
+            continue
+        counts[node] = sum(counts[j] for j in adjacency.get(node, ()))
+    return counts[source]
+
+
+def _topological_order(
+    nodes: Iterable[int], adjacency: Dict[int, List[int]]
+) -> List[int]:
+    indegree: Dict[int, int] = {node: 0 for node in nodes}
+    for i, outs in adjacency.items():
+        for j in outs:
+            indegree[j] += 1
+    frontier = sorted(n for n, d in indegree.items() if d == 0)
+    order: List[int] = []
+    while frontier:
+        node = frontier.pop()
+        order.append(node)
+        for j in adjacency.get(node, ()):
+            indegree[j] -= 1
+            if indegree[j] == 0:
+                frontier.append(j)
+    if len(order) != len(indegree):
+        raise ValueError("link set contains a cycle; expected a DAG")
+    return order
+
+
+@dataclass(frozen=True)
+class UtilityRatios:
+    """The Fig. 4 pair for one session.
+
+    Attributes:
+        node_utility: transmitting nodes / selected nodes.
+        path_utility: used source->destination paths / available paths.
+    """
+
+    node_utility: float
+    path_utility: float
+
+
+def utility_ratios(
+    result: SessionResult, forwarders: ForwarderSet
+) -> UtilityRatios:
+    """Compute node and path utility for one coded session.
+
+    * node utility — "the actual number of nodes involved in the
+      transmission divided by the total number of selected nodes".  A
+      node is involved if it transmitted at least one packet; the
+      destination (which never transmits) is excluded from both counts.
+    * path utility — "the total number of paths involved in the
+      transmission divided by the total number of available paths after
+      the node selection procedure".  Available paths live in the full
+      selection DAG; a path is involved when every one of its links
+      delivered at least one packet during the run.
+    """
+    selected = [n for n in forwarders.nodes if n != forwarders.destination]
+    transmitted = [
+        n for n in selected if result.transmissions.get(n, 0) > 0
+    ]
+    node_utility = len(transmitted) / len(selected) if selected else 0.0
+
+    available = count_dag_paths(
+        forwarders.dag_links, forwarders.source, forwarders.destination
+    )
+    delivered = set(result.delivered_links)
+    used_links = [link for link in forwarders.dag_links if link in delivered]
+    used = count_dag_paths(
+        used_links, forwarders.source, forwarders.destination
+    )
+    path_utility = used / available if available > 0 else 0.0
+    return UtilityRatios(
+        node_utility=node_utility, path_utility=path_utility
+    )
+
+
+@dataclass(frozen=True)
+class DistributionSummary:
+    """Summary of an empirical distribution (one CDF curve of a figure).
+
+    ``cdf_x`` are the sorted values; ``cdf_y`` the cumulative fractions
+    — exactly the coordinates the paper's CDF plots use.
+    """
+
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    count: int
+    cdf_x: Tuple[float, ...]
+    cdf_y: Tuple[float, ...]
+
+    def fraction_below(self, threshold: float) -> float:
+        """Empirical P(value < threshold)."""
+        if self.count == 0:
+            return 0.0
+        values = np.asarray(self.cdf_x)
+        return float(np.count_nonzero(values < threshold) / self.count)
+
+
+def summarize(values: Sequence[float]) -> DistributionSummary:
+    """Build a :class:`DistributionSummary` from raw session values."""
+    data = np.asarray(sorted(values), dtype=float)
+    if data.size == 0:
+        return DistributionSummary(
+            mean=0.0,
+            median=0.0,
+            minimum=0.0,
+            maximum=0.0,
+            count=0,
+            cdf_x=(),
+            cdf_y=(),
+        )
+    fractions = np.arange(1, data.size + 1) / data.size
+    return DistributionSummary(
+        mean=float(np.mean(data)),
+        median=float(np.median(data)),
+        minimum=float(data[0]),
+        maximum=float(data[-1]),
+        count=int(data.size),
+        cdf_x=tuple(float(v) for v in data),
+        cdf_y=tuple(float(f) for f in fractions),
+    )
+
+
+def ascii_cdf(
+    summary: DistributionSummary,
+    *,
+    width: int = 60,
+    height: int = 12,
+    label: str = "",
+) -> str:
+    """Render a CDF as an ASCII plot (experiment scripts print these)."""
+    if summary.count == 0:
+        return f"{label}: (no data)"
+    xs = np.asarray(summary.cdf_x)
+    ys = np.asarray(summary.cdf_y)
+    lo, hi = xs[0], xs[-1]
+    span = hi - lo if hi > lo else 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for x, y in zip(xs, ys):
+        col = min(width - 1, int((x - lo) / span * (width - 1)))
+        row = min(height - 1, int((1.0 - y) * (height - 1)))
+        grid[row][col] = "*"
+    lines = ["".join(row) for row in grid]
+    header = f"{label} (n={summary.count}, mean={summary.mean:.3g})"
+    footer = f"{lo:.3g}{' ' * (width - 12)}{hi:.3g}"
+    return "\n".join([header] + lines + [footer])

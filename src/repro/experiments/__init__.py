@@ -1,0 +1,56 @@
+"""Experiments regenerating every figure and claim of the paper's
+evaluation (Sec. 5), plus the Sec. 4 coding-speed claim.
+
+* :mod:`repro.experiments.common` — the shared four-protocol campaign.
+* :mod:`repro.experiments.fig1_convergence` — Fig. 1.
+* :mod:`repro.experiments.fig2_throughput` — Fig. 2 (left and right).
+* :mod:`repro.experiments.fig3_queue` — Fig. 3.
+* :mod:`repro.experiments.fig4_utility` — Fig. 4.
+* :mod:`repro.experiments.coding_speed` — the 3-5x acceleration claim.
+* :mod:`repro.experiments.convergence_stats` — the ~91-iteration claim.
+
+Each module is runnable (``python -m repro.experiments.<name>``) and
+exposes a ``run_*`` function for programmatic use; the benchmark suite
+calls those functions with pinned configurations.
+"""
+
+from repro.experiments.coding_speed import CodingSpeedPoint, run_coding_speed
+from repro.experiments.common import (
+    CampaignConfig,
+    CampaignResult,
+    SessionRecord,
+    build_network,
+    pick_sessions,
+    run_campaign,
+    run_session,
+)
+from repro.experiments.convergence_stats import (
+    ConvergenceStats,
+    run_convergence_stats,
+)
+from repro.experiments.fig1_convergence import ConvergenceSeries, run_fig1
+from repro.experiments.fig2_throughput import Fig2Result, run_fig2
+from repro.experiments.fig3_queue import Fig3Result, run_fig3
+from repro.experiments.fig4_utility import Fig4Result, run_fig4
+
+__all__ = [
+    "CampaignConfig",
+    "CampaignResult",
+    "CodingSpeedPoint",
+    "ConvergenceSeries",
+    "ConvergenceStats",
+    "Fig2Result",
+    "Fig3Result",
+    "Fig4Result",
+    "SessionRecord",
+    "build_network",
+    "pick_sessions",
+    "run_campaign",
+    "run_coding_speed",
+    "run_convergence_stats",
+    "run_fig1",
+    "run_fig2",
+    "run_fig3",
+    "run_fig4",
+    "run_session",
+]

@@ -1,0 +1,112 @@
+"""Section 4 claim — accelerated network coding is 3-5x the baseline.
+
+The paper replaces the lookup-table byte-at-a-time codec with an
+SSE2-accelerated row-at-a-time multiply and reports 3-5x higher coding
+efficiency "depending on the size of a generation and a data block".
+Our accelerated engine vectorizes whole rows with numpy; the baseline is
+a faithful byte-at-a-time pure-Python codec.  This experiment measures
+both on the encode + progressive-decode pipeline across the generation
+and block sizes the paper varies.
+
+Run as a module::
+
+    python -m repro.experiments.coding_speed
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple, Type
+
+import numpy as np
+
+from repro.coding.decoder import ProgressiveDecoder
+from repro.coding.encoder import SourceEncoder
+from repro.coding.generation import GenerationParams, random_generation
+from repro.coding.gf256 import GF256
+from repro.coding.gf256_baseline import GF256Baseline
+
+
+@dataclass(frozen=True)
+class CodingSpeedPoint:
+    """One (generation size, block size) measurement."""
+
+    blocks: int
+    block_size: int
+    accelerated_mbps: float
+    baseline_mbps: float
+
+    @property
+    def speedup(self) -> float:
+        """Accelerated over baseline throughput."""
+        if self.baseline_mbps == 0:
+            return float("inf")
+        return self.accelerated_mbps / self.baseline_mbps
+
+
+def measure_codec(
+    field: Type,
+    blocks: int,
+    block_size: int,
+    *,
+    seed: int = 7,
+    repeats: int = 1,
+) -> float:
+    """Encode and progressively decode one generation; return MB/s.
+
+    Throughput counts the payload bytes processed by the full pipeline
+    (encode at the source + Gauss-Jordan absorption at the destination),
+    matching the paper's end-to-end "coding efficiency".
+    """
+    rng = np.random.default_rng(seed)
+    params = GenerationParams(blocks=blocks, block_size=block_size)
+    generation = random_generation(0, params, rng)
+    best = float("inf")
+    for _ in range(repeats):
+        encoder = SourceEncoder(1, generation, rng, field=field)
+        decoder = ProgressiveDecoder(blocks, block_size, field=field)
+        started = time.perf_counter()
+        while not decoder.is_complete:
+            decoder.add_packet(encoder.next_packet())
+        elapsed = time.perf_counter() - started
+        best = min(best, elapsed)
+    payload = blocks * block_size
+    return payload / best / 1e6
+
+
+def run_coding_speed(
+    shapes: Optional[List[Tuple[int, int]]] = None,
+) -> List[CodingSpeedPoint]:
+    """Measure both codecs across generation/block shapes."""
+    if shapes is None:
+        shapes = [(16, 256), (32, 512), (40, 1024), (64, 1024)]
+    points = []
+    for blocks, block_size in shapes:
+        accelerated = measure_codec(GF256, blocks, block_size)
+        baseline = measure_codec(GF256Baseline, blocks, block_size)
+        points.append(
+            CodingSpeedPoint(
+                blocks=blocks,
+                block_size=block_size,
+                accelerated_mbps=accelerated,
+                baseline_mbps=baseline,
+            )
+        )
+    return points
+
+
+def main() -> None:
+    print("Coding speed — accelerated (numpy rows) vs baseline (pure Python)")
+    print(f"{'generation':>12s} {'accel MB/s':>12s} {'base MB/s':>12s} {'speedup':>9s}")
+    for point in run_coding_speed():
+        label = f"{point.blocks}x{point.block_size}"
+        print(
+            f"{label:>12s} {point.accelerated_mbps:12.2f} "
+            f"{point.baseline_mbps:12.3f} {point.speedup:8.1f}x"
+        )
+    print("paper claim: 3-5x over the lookup-table baseline")
+
+
+if __name__ == "__main__":
+    main()

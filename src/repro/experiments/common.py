@@ -1,0 +1,274 @@
+"""Shared campaign driver for the paper's evaluation (Sec. 5).
+
+One *campaign* reproduces the measurement setup behind Figs. 2-4: a
+random network, a set of random unicast sessions with a hop-count
+constraint, and all four protocols run on identical sessions.  The
+figure-specific experiment modules consume :class:`CampaignResult` and
+derive their own metrics.
+
+Paper-scale parameters (300 nodes, 300 sessions, 800 s) are supported
+but take hours in pure Python; the default *scale* runs a reduced
+campaign with the same shape.  Set ``OMNC_FULL_SCALE=1`` or pass
+``scale="paper"`` to run the full thing.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.emulator.session import (
+    SessionConfig,
+    SessionResult,
+    run_coded_session,
+    run_unicast_session,
+)
+from repro.emulator.stats import throughput_gain, utility_ratios
+from repro.protocols.base import (
+    CodedBroadcastPlan,
+    CreditBroadcastPlan,
+    UnicastPathPlan,
+)
+from repro.protocols.etx_routing import plan_etx_route
+from repro.protocols.more import plan_more
+from repro.protocols.oldmore import plan_oldmore
+from repro.protocols.omnc import plan_omnc_detailed
+from repro.routing.node_selection import NodeSelectionError
+from repro.topology.graph import WirelessNetwork
+from repro.topology.phy import high_quality_phy, lossy_phy
+from repro.topology.random_network import random_network
+from repro.util.rng import RngFactory
+
+PROTOCOLS = ("omnc", "more", "oldmore", "etx")
+
+
+@dataclass(frozen=True)
+class CampaignConfig:
+    """Knobs of one evaluation campaign.
+
+    The defaults reproduce the paper's setup at reduced scale; the
+    class method :meth:`paper_scale` returns the full Sec. 5 parameters.
+    """
+
+    node_count: int = 120
+    sessions: int = 20
+    min_hops: int = 4
+    max_hops: int = 10
+    quality: str = "lossy"  # or "high"
+    session_seconds: float = 200.0
+    target_generations: int = 6
+    seed: int = 2008
+    interference: str = "blanking"
+    coding_fidelity: str = "flow"
+
+    def __post_init__(self) -> None:
+        if self.node_count < 4:
+            raise ValueError("node_count must be >= 4")
+        if self.sessions < 1:
+            raise ValueError("sessions must be >= 1")
+        if not 1 <= self.min_hops <= self.max_hops:
+            raise ValueError("need 1 <= min_hops <= max_hops")
+        if self.quality not in ("lossy", "high"):
+            raise ValueError(f"quality must be 'lossy' or 'high', got {self.quality!r}")
+
+    @classmethod
+    def paper_scale(cls, quality: str = "lossy") -> "CampaignConfig":
+        """The full Sec. 5 campaign: 300 nodes, 300 sessions, 800 s."""
+        return cls(
+            node_count=300,
+            sessions=300,
+            quality=quality,
+            session_seconds=800.0,
+            target_generations=0,
+        )
+
+    @classmethod
+    def from_environment(cls, **overrides) -> "CampaignConfig":
+        """Reduced scale by default; paper scale if OMNC_FULL_SCALE=1."""
+        if os.environ.get("OMNC_FULL_SCALE") == "1":
+            quality = overrides.pop("quality", "lossy")
+            return cls.paper_scale(quality=quality)
+        return cls(**overrides)
+
+    def session_config(self) -> SessionConfig:
+        """The per-session emulation configuration."""
+        return SessionConfig(
+            max_seconds=self.session_seconds,
+            target_generations=self.target_generations,
+            interference=self.interference,
+            coding_fidelity=self.coding_fidelity,
+        )
+
+
+@dataclass
+class SessionRecord:
+    """All four protocols' results on one (source, destination) pair."""
+
+    source: int
+    destination: int
+    hop_count: int
+    results: Dict[str, SessionResult]
+    plans: Dict[str, object]
+
+    def gain(self, protocol: str) -> float:
+        """Throughput gain of ``protocol`` over ETX routing."""
+        return throughput_gain(self.results[protocol], self.results["etx"])
+
+    def utility(self, protocol: str):
+        """Node/path utility ratios for a coded protocol."""
+        plan = self.plans[protocol]
+        forwarders = plan.forwarders  # type: ignore[attr-defined]
+        return utility_ratios(self.results[protocol], forwarders)
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign measured."""
+
+    config: CampaignConfig
+    network: WirelessNetwork
+    records: List[SessionRecord] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    def gains(self, protocol: str) -> List[float]:
+        """Finite throughput gains for ``protocol`` across sessions."""
+        values = [r.gain(protocol) for r in self.records]
+        return [v for v in values if v != float("inf")]
+
+    def mean_gain(self, protocol: str) -> float:
+        """Average throughput gain (the paper's headline statistic)."""
+        values = self.gains(protocol)
+        return sum(values) / len(values) if values else 0.0
+
+    def mean_queues(self, protocol: str) -> List[float]:
+        """Per-session mean queue sizes for ``protocol`` (Fig. 3)."""
+        return [r.results[protocol].mean_queue() for r in self.records]
+
+    def per_node_queues(self, protocol: str) -> List[float]:
+        """Per-node time-averaged queues pooled across sessions (Fig. 3)."""
+        values: List[float] = []
+        for record in self.records:
+            result = record.results[protocol]
+            for node, tx in result.transmissions.items():
+                if tx > 0:
+                    values.append(result.average_queues[node])
+        return values
+
+    def utilities(self, protocol: str) -> Tuple[List[float], List[float]]:
+        """(node utility, path utility) lists for a coded protocol."""
+        nodes: List[float] = []
+        paths: List[float] = []
+        for record in self.records:
+            ratios = record.utility(protocol)
+            nodes.append(ratios.node_utility)
+            paths.append(ratios.path_utility)
+        return nodes, paths
+
+
+def build_network(config: CampaignConfig) -> Tuple[RngFactory, WirelessNetwork]:
+    """Deploy the campaign topology with the requested quality profile."""
+    rng = RngFactory(config.seed)
+    if config.quality == "high":
+        phy = high_quality_phy(rng=rng.derive("phy"))
+    else:
+        phy = lossy_phy(rng=rng.derive("phy"))
+    network = random_network(
+        config.node_count, phy=phy, rng=rng.derive("topology")
+    )
+    return rng, network
+
+
+def pick_sessions(
+    config: CampaignConfig, network: WirelessNetwork
+) -> List[Tuple[int, int, UnicastPathPlan]]:
+    """Draw random endpoint pairs honouring the hop-count constraint."""
+    rng = random.Random(config.seed * 31 + 7)
+    chosen: List[Tuple[int, int, UnicastPathPlan]] = []
+    attempts = 0
+    limit = config.sessions * 200
+    while len(chosen) < config.sessions and attempts < limit:
+        attempts += 1
+        source, destination = rng.sample(range(network.node_count), 2)
+        try:
+            etx_plan = plan_etx_route(network, source, destination)
+        except NodeSelectionError:
+            continue
+        if not config.min_hops <= etx_plan.hop_count <= config.max_hops:
+            continue
+        try:
+            # Coded planning must succeed too for a comparable session.
+            plan_more(network, source, destination)
+        except NodeSelectionError:
+            continue
+        chosen.append((source, destination, etx_plan))
+    if len(chosen) < config.sessions:
+        raise RuntimeError(
+            f"only found {len(chosen)} feasible sessions after {attempts} draws; "
+            "relax the hop-count constraint or enlarge the network"
+        )
+    return chosen
+
+
+def run_session(
+    network: WirelessNetwork,
+    source: int,
+    destination: int,
+    etx_plan: UnicastPathPlan,
+    session_config: SessionConfig,
+    rng: RngFactory,
+) -> SessionRecord:
+    """Run all four protocols on one session."""
+    results: Dict[str, SessionResult] = {}
+    plans: Dict[str, object] = {"etx": etx_plan}
+
+    results["etx"] = run_unicast_session(
+        network, etx_plan, config=session_config,
+        rng=rng.spawn(f"etx-{source}-{destination}"),
+    )
+    omnc_report = plan_omnc_detailed(network, source, destination)
+    plans["omnc"] = omnc_report.plan
+    results["omnc"] = run_coded_session(
+        network, omnc_report.plan, config=session_config,
+        rng=rng.spawn(f"omnc-{source}-{destination}"),
+    )
+    more_plan = plan_more(network, source, destination)
+    plans["more"] = more_plan
+    results["more"] = run_coded_session(
+        network, more_plan, config=session_config,
+        rng=rng.spawn(f"more-{source}-{destination}"),
+    )
+    oldmore_plan = plan_oldmore(network, source, destination)
+    plans["oldmore"] = oldmore_plan
+    results["oldmore"] = run_coded_session(
+        network, oldmore_plan, config=session_config,
+        rng=rng.spawn(f"oldmore-{source}-{destination}"),
+        protocol_label="oldmore",
+    )
+    hop_count = etx_plan.hop_count
+    return SessionRecord(
+        source=source,
+        destination=destination,
+        hop_count=hop_count,
+        results=results,
+        plans=plans,
+    )
+
+
+def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
+    """Run the full four-protocol campaign."""
+    config = config or CampaignConfig()
+    started = time.time()
+    rng, network = build_network(config)
+    sessions = pick_sessions(config, network)
+    session_config = config.session_config()
+    campaign = CampaignResult(config=config, network=network)
+    for source, destination, etx_plan in sessions:
+        record = run_session(
+            network, source, destination, etx_plan, session_config, rng
+        )
+        campaign.records.append(record)
+    campaign.wall_seconds = time.time() - started
+    return campaign

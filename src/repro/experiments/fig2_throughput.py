@@ -1,0 +1,104 @@
+"""Figure 2 — distribution of throughput gains over ETX routing.
+
+Left panel: the lossy network (average link quality ~0.58).  Paper
+averages: OMNC 2.45, MORE 1.67, oldMORE 1.12.  Right panel: the same
+topology with raised transmission power (average quality ~0.91), where
+OMNC's gain shrinks to 1.12 and MORE/oldMORE fall below ETX.
+
+Run as a module::
+
+    python -m repro.experiments.fig2_throughput --quality lossy
+    python -m repro.experiments.fig2_throughput --quality high
+
+``OMNC_FULL_SCALE=1`` switches to the paper's 300-node / 300-session
+campaign.
+"""
+
+from __future__ import annotations
+
+import argparse
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.emulator.stats import DistributionSummary, ascii_cdf, summarize
+from repro.experiments.common import (
+    CampaignConfig,
+    CampaignResult,
+    run_campaign,
+)
+
+CODED_PROTOCOLS = ("omnc", "more", "oldmore")
+
+PAPER_MEAN_GAINS = {
+    "lossy": {"omnc": 2.45, "more": 1.67, "oldmore": 1.12},
+    "high": {"omnc": 1.12, "more": 0.95, "oldmore": 0.9},
+}
+
+
+@dataclass(frozen=True)
+class Fig2Result:
+    """Gain distributions for one quality regime."""
+
+    quality: str
+    distributions: Dict[str, DistributionSummary]
+    campaign: CampaignResult
+
+    def mean_gain(self, protocol: str) -> float:
+        """Average throughput gain of ``protocol``."""
+        return self.distributions[protocol].mean
+
+
+def run_fig2(
+    quality: str = "lossy", config: Optional[CampaignConfig] = None
+) -> Fig2Result:
+    """Run the Fig. 2 campaign for one quality regime."""
+    if config is None:
+        config = CampaignConfig.from_environment(quality=quality)
+    campaign = run_campaign(config)
+    distributions = {
+        protocol: summarize(campaign.gains(protocol))
+        for protocol in CODED_PROTOCOLS
+    }
+    return Fig2Result(
+        quality=quality, distributions=distributions, campaign=campaign
+    )
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--quality", choices=("lossy", "high"), default="lossy",
+        help="link-quality regime (Fig. 2 left vs right)",
+    )
+    parser.add_argument("--sessions", type=int, default=None)
+    parser.add_argument("--nodes", type=int, default=None)
+    args = parser.parse_args()
+
+    overrides = {"quality": args.quality}
+    if args.sessions is not None:
+        overrides["sessions"] = args.sessions
+    if args.nodes is not None:
+        overrides["node_count"] = args.nodes
+    config = CampaignConfig.from_environment(**overrides)
+    result = run_fig2(args.quality, config)
+
+    print(f"Figure 2 ({args.quality}) — throughput gain over ETX routing")
+    print(
+        f"network: {config.node_count} nodes, {config.sessions} sessions, "
+        f"avg link quality {result.campaign.network.average_link_probability():.2f}"
+    )
+    paper = PAPER_MEAN_GAINS[args.quality]
+    for protocol in CODED_PROTOCOLS:
+        summary = result.distributions[protocol]
+        print(
+            f"  {protocol:8s} mean gain {summary.mean:5.2f} "
+            f"(median {summary.median:.2f}, paper {paper[protocol]:.2f})"
+        )
+    for protocol in CODED_PROTOCOLS:
+        print()
+        print(ascii_cdf(result.distributions[protocol], label=f"{protocol} gain CDF"))
+    print(f"\ncampaign wall time: {result.campaign.wall_seconds:.1f}s")
+
+
+if __name__ == "__main__":
+    main()

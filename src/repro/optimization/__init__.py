@@ -1,0 +1,68 @@
+"""The OMNC optimization framework (paper Sec. 3).
+
+* :mod:`repro.optimization.problem` — the session graph abstraction.
+* :mod:`repro.optimization.sunicast` — the sUnicast LP, solved centrally
+  (reference optimum), plus the min-cost variant used by oldMORE.
+* :mod:`repro.optimization.subgradient` — step-size schedules.
+* :mod:`repro.optimization.sub1_routing` — SUB1: shortest-path routing
+  with ln-utility injection and primal recovery.
+* :mod:`repro.optimization.sub2_rates` — SUB2: broadcast-rate allocation
+  with congestion prices and the proximal update.
+* :mod:`repro.optimization.rate_control` — the Table 1 driver.
+* :mod:`repro.optimization.messages` — message-passing execution of the
+  same algorithm, proving it runs on one-hop exchanges only.
+* :mod:`repro.optimization.multi_session` — the multiple-unicast
+  extension sketched in the paper's conclusion.
+"""
+
+from repro.optimization.problem import (
+    SessionGraph,
+    session_graph_from_network,
+    session_graph_from_selection,
+)
+from repro.optimization.rate_control import (
+    RateControlAlgorithm,
+    RateControlConfig,
+    RateControlResult,
+    feasible_scaling,
+)
+from repro.optimization.sub1_routing import Sub1Iterate, Sub1Router
+from repro.optimization.sub2_rates import Sub2Iterate, Sub2RateAllocator
+from repro.optimization.subgradient import (
+    ConstantStepSize,
+    DiminishingStepSize,
+    StepSizeSchedule,
+    project_nonnegative,
+)
+from repro.optimization.sunicast import (
+    InfeasibleSessionError,
+    SUnicastSolution,
+    solve_min_cost,
+    solve_min_cost_routing,
+    solve_sunicast,
+    verify_feasibility,
+)
+
+__all__ = [
+    "ConstantStepSize",
+    "DiminishingStepSize",
+    "InfeasibleSessionError",
+    "RateControlAlgorithm",
+    "RateControlConfig",
+    "RateControlResult",
+    "SUnicastSolution",
+    "SessionGraph",
+    "StepSizeSchedule",
+    "Sub1Iterate",
+    "Sub1Router",
+    "Sub2Iterate",
+    "Sub2RateAllocator",
+    "feasible_scaling",
+    "project_nonnegative",
+    "session_graph_from_network",
+    "session_graph_from_selection",
+    "solve_min_cost",
+    "solve_min_cost_routing",
+    "solve_sunicast",
+    "verify_feasibility",
+]

@@ -1,0 +1,363 @@
+"""Multiple-unicast extension of the OMNC framework.
+
+The paper's conclusion notes the rate control framework "can be flexibly
+extended to other scenarios such as the multiple-unicast case".  This
+module carries that extension out:
+
+* each session s keeps its own flow variables x^s, broadcast rates b^s
+  and loss-coupling multipliers lambda^s — SUB1 runs per session,
+  unchanged;
+* sessions are coupled only through the broadcast MAC constraint, which
+  now charges the *total* neighborhood load:
+
+      sum_s ( b_i^s + sum_{j in N(i)} b_j^s ) <= C     for i not a source
+
+* the objective becomes sum_s ln(gamma_s) — proportional fairness across
+  sessions, the natural generalization of the single-session ln-utility.
+
+The decomposition structure survives intact: one congestion price beta_i
+per node prices the shared constraint, and each session's SUB2 update
+simply charges its own rates with the shared prices.  The centralized
+reference optimum (:func:`solve_multi_sunicast`) maximizes the *sum of
+throughputs* subject to the shared MAC constraint, providing an upper
+envelope for tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+from scipy.optimize import linprog
+from scipy.sparse import csr_matrix
+
+from repro.optimization.problem import SessionGraph
+from repro.optimization.rate_control import RateControlConfig
+from repro.optimization.recovery import IterateAverager
+from repro.optimization.sub1_routing import Sub1Router
+from repro.optimization.subgradient import project_nonnegative
+from repro.topology.graph import Link
+
+
+@dataclass(frozen=True)
+class MultiSessionResult:
+    """Joint allocation for several coexisting unicast sessions.
+
+    Attributes:
+        throughputs: recovered gamma_bar per session (normalized).
+        broadcast_rates: recovered b_bar per session, keyed by node.
+        flows: recovered x_bar per session, keyed by link.
+        iterations: outer iterations executed.
+        converged: whether the stopping rule fired.
+    """
+
+    throughputs: Tuple[float, ...]
+    broadcast_rates: Tuple[Dict[int, float], ...]
+    flows: Tuple[Dict[Link, float], ...]
+    iterations: int
+    converged: bool
+
+    @property
+    def total_throughput(self) -> float:
+        """Sum of session throughputs (normalized)."""
+        return float(sum(self.throughputs))
+
+
+class MultiSessionRateControl:
+    """Jointly allocate rates to several sessions on one network.
+
+    All session graphs must share the same capacity (they describe the
+    same channel).  Node ids are global, so the shared congestion price
+    beta_i is well defined across sessions.
+    """
+
+    def __init__(
+        self,
+        graphs: Sequence[SessionGraph],
+        config: Optional[RateControlConfig] = None,
+    ) -> None:
+        if not graphs:
+            raise ValueError("at least one session is required")
+        capacities = {g.capacity for g in graphs}
+        if len(capacities) != 1:
+            raise ValueError(f"sessions disagree on capacity: {capacities}")
+        self._graphs = list(graphs)
+        self._config = config or RateControlConfig()
+        self._routers = [
+            Sub1Router(
+                g,
+                gamma_cap=self._config.gamma_cap,
+                primal_recovery=self._config.primal_recovery,
+                recovery_tail=self._config.recovery_tail,
+            )
+            for g in self._graphs
+        ]
+        self._prices: List[Dict[Link, float]] = [
+            {link: 0.0 for link in g.links} for g in self._graphs
+        ]
+        self._union_prices: List[Dict[int, float]] = [
+            {node: 0.0 for node in g.transmitters()} for g in self._graphs
+        ]
+        self._rates: List[Dict[int, float]] = []
+        for g in self._graphs:
+            rates = {n: self._config.initial_rate for n in g.nodes}
+            rates[g.destination] = 0.0
+            self._rates.append(rates)
+        # Shared congestion prices over every node that is MAC-constrained
+        # in at least one session.
+        constrained = set()
+        for g in self._graphs:
+            constrained.update(g.mac_constrained_nodes())
+        self._beta: Dict[int, float] = {n: 0.0 for n in sorted(constrained)}
+        self._node_orders = [list(g.nodes) for g in self._graphs]
+        self._rate_averagers = [
+            IterateAverager(len(order), tail=self._config.recovery_tail)
+            for order in self._node_orders
+        ]
+        self._iteration = 0
+
+    @property
+    def iteration(self) -> int:
+        """Outer iterations executed."""
+        return self._iteration
+
+    def _neighborhood_load(self, node: int) -> float:
+        """Total load at receiver ``node`` across all sessions."""
+        load = 0.0
+        for g, rates in zip(self._graphs, self._rates):
+            if node not in rates:
+                continue
+            load += rates[node]
+            load += sum(rates.get(j, 0.0) for j in g.neighbors.get(node, ()))
+        return load
+
+    def step(self) -> None:
+        """One joint iteration: per-session SUB1/SUB2, shared beta."""
+        theta = self._config.step_size(self._iteration)
+        sub1_iterates = []
+        for router, prices, mus, g in zip(
+            self._routers, self._prices, self._union_prices, self._graphs
+        ):
+            effective = {
+                link: prices[link] + mus.get(link[0], 0.0) for link in g.links
+            }
+            sub1_iterates.append(router.step(effective))
+        # Per-session proximal rate updates against the shared prices.
+        for g, rates, prices, mus in zip(
+            self._graphs, self._rates, self._prices, self._union_prices
+        ):
+            weights: Dict[int, float] = {}
+            for link in g.links:
+                i, _ = link
+                weights[i] = weights.get(i, 0.0) + prices[link] * g.probability[link]
+            for node, mu in mus.items():
+                if mu:
+                    weights[node] = weights.get(node, 0.0) + mu * g.union_probability(node)
+            old = dict(rates)
+            for node in g.nodes:
+                if node == g.destination:
+                    continue
+                charge = self._beta.get(node, 0.0) + sum(
+                    self._beta.get(j, 0.0) for j in g.neighbors[node]
+                )
+                updated = old[node] + (weights.get(node, 0.0) - charge) / (
+                    2.0 * self._config.proximal_c
+                )
+                rates[node] = min(1.0, max(0.0, updated))
+        # Shared congestion price update on total load.
+        for node in self._beta:
+            slack = 1.0 - self._neighborhood_load(node)
+            self._beta[node] = project_nonnegative(
+                self._beta[node] - theta * slack
+            )
+        # Per-session multiplier updates.
+        for g, rates, prices, mus, iterate in zip(
+            self._graphs, self._rates, self._prices, self._union_prices, sub1_iterates
+        ):
+            for link in g.links:
+                i, _ = link
+                surplus = rates[i] * g.probability[link] - iterate.flows[link]
+                prices[link] = project_nonnegative(prices[link] - theta * surplus)
+            for node in mus:
+                outflow = sum(iterate.flows[link] for link in g.out_links(node))
+                surplus = rates[node] * g.union_probability(node) - outflow
+                mus[node] = project_nonnegative(mus[node] - theta * surplus)
+        for rates, order, averager in zip(
+            self._rates, self._node_orders, self._rate_averagers
+        ):
+            averager.push(np.array([rates[n] for n in order]))
+        self._iteration += 1
+
+    def run(self) -> MultiSessionResult:
+        """Iterate to convergence of every session's recovered rates."""
+        config = self._config
+        stable = 0
+        converged = False
+        previous: Optional[List[Dict[int, float]]] = None
+        while self._iteration < config.max_iterations:
+            self.step()
+            recovered = self._recovered_rates()
+            if previous is not None:
+                delta = 0.0
+                scale = 1e-9
+                for rec, prev in zip(recovered, previous):
+                    delta = max(
+                        delta, max(abs(rec[n] - prev[n]) for n in rec)
+                    )
+                    scale = max(scale, max(rec.values()))
+                if delta / scale < config.tolerance:
+                    stable += 1
+                else:
+                    stable = 0
+                if self._iteration >= config.min_iterations and stable >= config.patience:
+                    converged = True
+                    break
+            previous = recovered
+        flows = [router.recovered_flows for router in self._routers]
+        throughputs = []
+        for g, flow in zip(self._graphs, flows):
+            out = sum(flow[l] for l in g.out_links(g.source))
+            back = sum(flow[l] for l in g.in_links(g.source))
+            throughputs.append(out - back)
+        return MultiSessionResult(
+            throughputs=tuple(throughputs),
+            broadcast_rates=tuple(self._recovered_rates()),
+            flows=tuple(flows),
+            iterations=self._iteration,
+            converged=converged,
+        )
+
+    def _recovered_rates(self) -> List[Dict[int, float]]:
+        out = []
+        for order, averager, rates in zip(
+            self._node_orders, self._rate_averagers, self._rates
+        ):
+            if averager.count == 0:
+                out.append(dict(rates))
+            else:
+                averaged = averager.average()
+                out.append(
+                    {n: float(averaged[k]) for k, n in enumerate(order)}
+                )
+        return out
+
+
+def solve_multi_sunicast(graphs: Sequence[SessionGraph]) -> Tuple[float, Tuple[float, ...]]:
+    """Centralized reference: maximize total throughput across sessions.
+
+    Returns ``(total, per_session)`` normalized throughputs under shared
+    MAC constraints.  (The distributed algorithm optimizes the
+    proportionally-fair sum of logs, so its total is at most this LP's.)
+    """
+    if not graphs:
+        raise ValueError("at least one session is required")
+    # Column layout: per session [x | b | gamma], concatenated.
+    offsets = []
+    columns = 0
+    link_indexes = []
+    node_indexes = []
+    gamma_indexes = []
+    for g in graphs:
+        link_index = {link: columns + k for k, link in enumerate(g.links)}
+        columns += len(g.links)
+        node_index = {node: columns + k for k, node in enumerate(g.nodes)}
+        columns += len(g.nodes)
+        gamma_indexes.append(columns)
+        columns += 1
+        link_indexes.append(link_index)
+        node_indexes.append(node_index)
+        offsets.append(columns)
+
+    eq_rows: List[int] = []
+    eq_cols: List[int] = []
+    eq_vals: List[float] = []
+    eq_rhs: List[float] = []
+    ub_rows: List[int] = []
+    ub_cols: List[int] = []
+    ub_vals: List[float] = []
+    ub_rhs: List[float] = []
+    row = 0
+    urow = 0
+    for s, g in enumerate(graphs):
+        for node in g.nodes:
+            for link in g.out_links(node):
+                eq_rows.append(row)
+                eq_cols.append(link_indexes[s][link])
+                eq_vals.append(1.0)
+            for link in g.in_links(node):
+                eq_rows.append(row)
+                eq_cols.append(link_indexes[s][link])
+                eq_vals.append(-1.0)
+            sigma = g.supply(node)
+            if sigma != 0:
+                eq_rows.append(row)
+                eq_cols.append(gamma_indexes[s])
+                eq_vals.append(-float(sigma))
+            eq_rhs.append(0.0)
+            row += 1
+        for link in g.links:
+            i, _ = link
+            ub_rows.append(urow)
+            ub_cols.append(link_indexes[s][link])
+            ub_vals.append(1.0)
+            ub_rows.append(urow)
+            ub_cols.append(node_indexes[s][i])
+            ub_vals.append(-g.probability[link])
+            ub_rhs.append(0.0)
+            urow += 1
+        # Broadcast information constraint (5b), per session transmitter.
+        for node in g.transmitters():
+            out = g.out_links(node)
+            if not out:
+                continue
+            for link in out:
+                ub_rows.append(urow)
+                ub_cols.append(link_indexes[s][link])
+                ub_vals.append(1.0)
+            ub_rows.append(urow)
+            ub_cols.append(node_indexes[s][node])
+            ub_vals.append(-g.union_probability(node))
+            ub_rhs.append(0.0)
+            urow += 1
+    # Shared MAC rows: for each node constrained in any session, sum the
+    # neighborhood load over every session that includes it.
+    constrained = sorted(
+        {n for g in graphs for n in g.mac_constrained_nodes()}
+    )
+    for node in constrained:
+        for s, g in enumerate(graphs):
+            if node not in set(g.nodes):
+                continue
+            ub_rows.append(urow)
+            ub_cols.append(node_indexes[s][node])
+            ub_vals.append(1.0)
+            for j in g.neighbors[node]:
+                ub_rows.append(urow)
+                ub_cols.append(node_indexes[s][j])
+                ub_vals.append(1.0)
+        ub_rhs.append(1.0)
+        urow += 1
+
+    cost = np.zeros(columns)
+    for gamma_col in gamma_indexes:
+        cost[gamma_col] = -1.0
+    a_eq = csr_matrix((eq_vals, (eq_rows, eq_cols)), shape=(len(eq_rhs), columns))
+    a_ub = csr_matrix((ub_vals, (ub_rows, ub_cols)), shape=(len(ub_rhs), columns))
+    bounds = [(0.0, None)] * columns
+    for s, g in enumerate(graphs):
+        for node, col in node_indexes[s].items():
+            bounds[col] = (0.0, 1.0)
+    result = linprog(
+        cost,
+        A_ub=a_ub,
+        b_ub=np.array(ub_rhs),
+        A_eq=a_eq,
+        b_eq=np.array(eq_rhs),
+        bounds=bounds,
+        method="highs",
+    )
+    if not result.success:
+        raise RuntimeError(f"multi-session LP failed: {result.message}")
+    per_session = tuple(float(result.x[col]) for col in gamma_indexes)
+    return float(sum(per_session)), per_session

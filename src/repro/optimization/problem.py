@@ -1,0 +1,181 @@
+"""The session graph: the optimization's view of one unicast session.
+
+After node selection, the paper works on "the resulting topology graph
+G(V, E), where V is the set of selected nodes involved in the unicast and
+E is the set of directed links" (Sec. 3.2).  :class:`SessionGraph`
+captures exactly that, plus the two pieces of context the constraints
+need: reception probabilities p_ij on links, and neighborhoods N(i) among
+the selected nodes for the broadcast MAC constraint.
+
+All rates inside the optimization are **normalized by the channel
+capacity C**, so capacities are 1.0 and throughputs live in [0, 1].  This
+makes the paper's dimensionless step-size constants (A=1, B=0.5, C=10 in
+Fig. 1) directly applicable; :meth:`SessionGraph.denormalize_rates`
+converts results back to bytes/second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+
+from repro.routing.node_selection import ForwarderSet
+from repro.topology.graph import Link, WirelessNetwork
+
+
+@dataclass(frozen=True)
+class SessionGraph:
+    """Immutable optimization input for one unicast session.
+
+    Attributes:
+        source: source node id.
+        destination: destination node id.
+        nodes: selected nodes (includes source and destination).
+        links: directed links (i, j) available to the session.
+        probability: p_ij per link.
+        neighbors: N(i) restricted to selected nodes — the transmitters
+            node i competes with under the broadcast MAC constraint.
+        capacity: the MAC channel capacity in bytes/second (used only for
+            denormalization; the optimization itself is capacity-1).
+    """
+
+    source: int
+    destination: int
+    nodes: Tuple[int, ...]
+    links: Tuple[Link, ...]
+    probability: Mapping[Link, float]
+    neighbors: Mapping[int, FrozenSet[int]]
+    capacity: float
+
+    def __post_init__(self) -> None:
+        node_set = set(self.nodes)
+        if self.source not in node_set or self.destination not in node_set:
+            raise ValueError("source and destination must be selected nodes")
+        if self.source == self.destination:
+            raise ValueError("source and destination must differ")
+        if self.capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {self.capacity}")
+        for (i, j) in self.links:
+            if i not in node_set or j not in node_set:
+                raise ValueError(f"link ({i},{j}) references unselected nodes")
+            p = self.probability.get((i, j), 0.0)
+            if not 0.0 < p <= 1.0:
+                raise ValueError(f"link ({i},{j}) needs probability in (0,1], got {p}")
+
+    @property
+    def node_count(self) -> int:
+        """|V| of the session graph."""
+        return len(self.nodes)
+
+    @property
+    def link_count(self) -> int:
+        """|E| of the session graph."""
+        return len(self.links)
+
+    def out_links(self, node: int) -> Tuple[Link, ...]:
+        """Directed links leaving ``node``."""
+        return tuple((i, j) for (i, j) in self.links if i == node)
+
+    def in_links(self, node: int) -> Tuple[Link, ...]:
+        """Directed links entering ``node``."""
+        return tuple((i, j) for (i, j) in self.links if j == node)
+
+    def supply(self, node: int) -> int:
+        """The sigma(i) of flow conservation: +1 source, -1 destination."""
+        if node == self.source:
+            return 1
+        if node == self.destination:
+            return -1
+        return 0
+
+    def transmitters(self) -> Tuple[int, ...]:
+        """Nodes that may broadcast: everyone with an outgoing link."""
+        return tuple(sorted({i for (i, _) in self.links}))
+
+    def union_probability(self, node: int) -> float:
+        """q_i = 1 - prod_j (1 - p_ij): probability one broadcast by
+        ``node`` reaches at least one downstream session node.
+
+        This is the hyperarc capacity coefficient of the broadcast
+        information constraint (5b); see
+        :func:`repro.optimization.sunicast.solve_sunicast`.
+        """
+        miss = 1.0
+        for link in self.out_links(node):
+            miss *= 1.0 - self.probability[link]
+        return 1.0 - miss
+
+    def mac_constrained_nodes(self) -> Tuple[int, ...]:
+        """Nodes carrying a broadcast MAC constraint: i in V \\ {S}.
+
+        The paper applies constraint (4) to "any receiver (and possibly
+        transmitter) i in V\\S".
+        """
+        return tuple(n for n in self.nodes if n != self.source)
+
+    def denormalize_rates(self, rates: Dict[int, float]) -> Dict[int, float]:
+        """Convert capacity-normalized node rates to bytes/second."""
+        return {node: rate * self.capacity for node, rate in rates.items()}
+
+    def denormalize_flows(self, flows: Dict[Link, float]) -> Dict[Link, float]:
+        """Convert capacity-normalized link flows to bytes/second."""
+        return {link: rate * self.capacity for link, rate in flows.items()}
+
+
+def session_graph_from_selection(
+    network: WirelessNetwork,
+    forwarders: ForwarderSet,
+    *,
+    probabilities: Optional[Mapping[Link, float]] = None,
+) -> SessionGraph:
+    """Build the optimization input from a node-selection result.
+
+    ``probabilities`` may supply measured link qualities; the default uses
+    the network's ground truth.  Only the selection's DAG links enter E —
+    information flows strictly toward the destination, matching the
+    paper's "each relay is closer to the destination than its
+    predecessor" assumption.
+    """
+    prob: Dict[Link, float] = {}
+    for (i, j) in forwarders.dag_links:
+        if probabilities is not None:
+            p = probabilities.get((i, j), 0.0)
+        else:
+            p = network.probability(i, j)
+        if p > 0.0:
+            prob[(i, j)] = float(p)
+    links = tuple(sorted(prob))
+    neighbors = {
+        node: network.neighbors(node) & forwarders.nodes
+        for node in forwarders.nodes
+    }
+    return SessionGraph(
+        source=forwarders.source,
+        destination=forwarders.destination,
+        nodes=tuple(sorted(forwarders.nodes)),
+        links=links,
+        probability=prob,
+        neighbors=neighbors,
+        capacity=network.capacity,
+    )
+
+
+def session_graph_from_network(
+    network: WirelessNetwork, source: int, destination: int
+) -> SessionGraph:
+    """Session graph over the *whole* network (no node selection).
+
+    Useful for tiny hand-built topologies where every node is already a
+    useful forwarder (the Fig. 1 sample, the diamond).
+    """
+    prob = {(i, j): p for i, j, p in network.links()}
+    neighbors = {node: network.neighbors(node) for node in network.nodes()}
+    return SessionGraph(
+        source=source,
+        destination=destination,
+        nodes=tuple(network.nodes()),
+        links=tuple(sorted(prob)),
+        probability=prob,
+        neighbors=neighbors,
+        capacity=network.capacity,
+    )

@@ -1,0 +1,312 @@
+"""The distributed rate control algorithm — paper Table 1.
+
+    1. Initialize parameters.  Set elements in b, x to small positive
+       numbers.  Initialize the dual variables to 0.
+    2. Repeat until convergence:
+    3.   Solve SUB1: shortest path with link cost lambda_ij; update the
+         information rate x_ij by (12)(13).
+    4.   Solve SUB2: update b_i with (17)(18); update the congestion
+         price beta_i with (15); send beta_i, b_i to neighbors.
+    5.   Update the Lagrange multiplier lambda_ij with (8):
+         lambda_ij(t+1) = [lambda_ij(t) - theta(t)(b_i p_ij - x_ij)]^+
+
+:class:`RateControlAlgorithm` composes :class:`~repro.optimization.
+sub1_routing.Sub1Router` and :class:`~repro.optimization.sub2_rates.
+Sub2RateAllocator` exactly this way and records per-iteration history so
+the Fig. 1 convergence plot can be regenerated.
+
+The result's rates are capacity-normalized; use
+:meth:`RateControlResult.rates_bytes_per_second` for engineering units.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.optimization.problem import SessionGraph
+from repro.optimization.sub1_routing import Sub1Router
+from repro.optimization.sub2_rates import Sub2RateAllocator
+from repro.optimization.subgradient import (
+    DiminishingStepSize,
+    StepSizeSchedule,
+    project_nonnegative,
+)
+from repro.optimization.sunicast import SUnicastSolution
+from repro.topology.graph import Link
+
+
+@dataclass(frozen=True)
+class RateControlConfig:
+    """Tuning knobs of the distributed algorithm.
+
+    Defaults follow the paper where it is explicit (step-size constants
+    from Fig. 1) and sensible engineering choices elsewhere.
+
+    Attributes:
+        step_size: theta(t) schedule for both multiplier updates.  The
+            default is theta(t) = 1 / (0.5 + 0.1 t): the paper's A=1 and
+            B=0.5 with a gentler decay constant.  The paper's Fig. 1 uses
+            C=10 with *unnormalized* rates (10^5 B/s scale); in our
+            capacity-normalized units (subgradients of order 1) that
+            literal constant would freeze the multipliers after a handful
+            of iterations, so the decay is rescaled to preserve the same
+            total multiplier travel.
+        proximal_c: the "arbitrarily small positive constant" c of the
+            proximal term in (17); smaller tracks the optimum closer but
+            oscillates more.
+        initial_rate: the "small positive numbers" b starts from.
+        gamma_cap: upper bound on per-iteration injected flow (normalized
+            capacity units).
+        max_iterations: hard stop.
+        min_iterations: do not test convergence before this many steps.
+        tolerance: relative-change threshold on the recovered rates.
+        patience: consecutive below-tolerance iterations required to
+            declare convergence.
+        primal_recovery: disable to ablate eqs. (13)/(18).
+        recovery_tail: fraction of recent iterates entering the primal
+            recovery average (1.0 = paper-literal full average; see
+            :mod:`repro.optimization.recovery`).
+    """
+
+    step_size: StepSizeSchedule = field(
+        default_factory=lambda: DiminishingStepSize(a=1.0, b=0.5, c=0.1)
+    )
+    proximal_c: float = 0.5
+    initial_rate: float = 0.01
+    gamma_cap: float = 1.0
+    max_iterations: int = 400
+    min_iterations: int = 20
+    tolerance: float = 8e-3
+    patience: int = 4
+    primal_recovery: bool = True
+    recovery_tail: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.max_iterations < 1:
+            raise ValueError("max_iterations must be >= 1")
+        if self.min_iterations < 1 or self.min_iterations > self.max_iterations:
+            raise ValueError("min_iterations must be in [1, max_iterations]")
+        if self.tolerance <= 0:
+            raise ValueError("tolerance must be > 0")
+        if self.patience < 1:
+            raise ValueError("patience must be >= 1")
+        if not 0.0 < self.recovery_tail <= 1.0:
+            raise ValueError("recovery_tail must be in (0, 1]")
+
+
+@dataclass(frozen=True)
+class RateControlResult:
+    """Outcome of one rate-control run.
+
+    Attributes:
+        broadcast_rates: recovered b_bar per node (normalized).
+        flows: recovered x_bar per link (normalized).
+        throughput: recovered end-to-end rate gamma_bar (normalized) —
+            measured as net recovered flow out of the source.
+        iterations: outer iterations executed.
+        converged: whether the stopping rule fired before the cap.
+        rate_history: per-iteration recovered b_bar snapshots (Fig. 1).
+        gamma_history: per-iteration recovered throughput.
+        capacity: channel capacity for denormalization.
+    """
+
+    broadcast_rates: Dict[int, float]
+    flows: Dict[Link, float]
+    throughput: float
+    iterations: int
+    converged: bool
+    rate_history: Tuple[Dict[int, float], ...]
+    gamma_history: Tuple[float, ...]
+    capacity: float
+
+    def rates_bytes_per_second(self) -> Dict[int, float]:
+        """Broadcast rates in bytes/second."""
+        return {n: b * self.capacity for n, b in self.broadcast_rates.items()}
+
+    def throughput_bytes_per_second(self) -> float:
+        """End-to-end rate in bytes/second."""
+        return self.throughput * self.capacity
+
+    def as_solution(self) -> SUnicastSolution:
+        """View the recovered allocation as a solver solution (for the
+        shared feasibility checker)."""
+        return SUnicastSolution(
+            throughput=self.throughput,
+            flows=dict(self.flows),
+            broadcast_rates=dict(self.broadcast_rates),
+            objective=self.throughput,
+        )
+
+
+class RateControlAlgorithm:
+    """Run Table 1 on one session graph."""
+
+    def __init__(
+        self,
+        graph: SessionGraph,
+        config: Optional[RateControlConfig] = None,
+    ) -> None:
+        self._graph = graph
+        self._config = config or RateControlConfig()
+        self._sub1 = Sub1Router(
+            graph,
+            gamma_cap=self._config.gamma_cap,
+            primal_recovery=self._config.primal_recovery,
+            recovery_tail=self._config.recovery_tail,
+        )
+        self._sub2 = Sub2RateAllocator(
+            graph,
+            proximal_c=self._config.proximal_c,
+            initial_rate=self._config.initial_rate,
+            primal_recovery=self._config.primal_recovery,
+            recovery_tail=self._config.recovery_tail,
+        )
+        self._prices: Dict[Link, float] = {link: 0.0 for link in graph.links}
+        # Multipliers of the broadcast information constraint (5b):
+        # sum_j x_ij <= b_i * q_i (see repro.optimization.sunicast).
+        self._union_prices: Dict[int, float] = {
+            node: 0.0 for node in graph.transmitters()
+        }
+        self._iteration = 0
+
+    @property
+    def prices(self) -> Dict[Link, float]:
+        """Current Lagrange multipliers lambda_ij."""
+        return dict(self._prices)
+
+    @property
+    def union_prices(self) -> Dict[int, float]:
+        """Current broadcast-information multipliers mu_i."""
+        return dict(self._union_prices)
+
+    @property
+    def iteration(self) -> int:
+        """Outer iterations executed so far."""
+        return self._iteration
+
+    def step(self) -> None:
+        """One outer iteration: SUB1, SUB2, multiplier update (steps 3-5)."""
+        theta = self._config.step_size(self._iteration)
+        # SUB1 sees the total price of routing one unit over link (i, j):
+        # the per-link price lambda_ij plus the transmitter's aggregate
+        # broadcast-information price mu_i.
+        effective = {
+            link: self._prices[link] + self._union_prices.get(link[0], 0.0)
+            for link in self._graph.links
+        }
+        sub1 = self._sub1.step(effective)
+        sub2 = self._sub2.step(self._prices, theta, self._union_prices)
+        # (8): the subgradient of the relaxed constraint (5) at the
+        # instantaneous primal solution.
+        for link in self._graph.links:
+            i, _ = link
+            surplus = sub2.rates[i] * self._graph.probability[link] - sub1.flows[link]
+            self._prices[link] = project_nonnegative(
+                self._prices[link] - theta * surplus
+            )
+        # Same subgradient form for (5b): surplus = b_i q_i - sum_j x_ij.
+        for node in self._union_prices:
+            outflow = sum(
+                sub1.flows[link] for link in self._graph.out_links(node)
+            )
+            surplus = (
+                sub2.rates[node] * self._graph.union_probability(node) - outflow
+            )
+            self._union_prices[node] = project_nonnegative(
+                self._union_prices[node] - theta * surplus
+            )
+        self._iteration += 1
+
+    def run(self) -> RateControlResult:
+        """Iterate to convergence and return the recovered allocation."""
+        config = self._config
+        rate_history: List[Dict[int, float]] = []
+        gamma_history: List[float] = []
+        stable_iterations = 0
+        converged = False
+        previous_rates: Optional[Dict[int, float]] = None
+
+        while self._iteration < config.max_iterations:
+            self.step()
+            recovered = self._sub2.recovered_rates
+            rate_history.append(recovered)
+            gamma_history.append(self._recovered_throughput())
+            if previous_rates is not None:
+                delta = max(
+                    abs(recovered[n] - previous_rates[n]) for n in recovered
+                )
+                scale = max(max(recovered.values()), 1e-9)
+                if delta / scale < config.tolerance:
+                    stable_iterations += 1
+                else:
+                    stable_iterations = 0
+                if (
+                    self._iteration >= config.min_iterations
+                    and stable_iterations >= config.patience
+                ):
+                    converged = True
+                    break
+            previous_rates = recovered
+
+        return RateControlResult(
+            broadcast_rates=self._sub2.recovered_rates,
+            flows=self._sub1.recovered_flows,
+            throughput=self._recovered_throughput(),
+            iterations=self._iteration,
+            converged=converged,
+            rate_history=tuple(rate_history),
+            gamma_history=tuple(gamma_history),
+            capacity=self._graph.capacity,
+        )
+
+    def _recovered_throughput(self) -> float:
+        """Net recovered flow out of the source — the usable gamma_bar."""
+        flows = self._sub1.recovered_flows
+        out = sum(flows[l] for l in self._graph.out_links(self._graph.source))
+        back = sum(flows[l] for l in self._graph.in_links(self._graph.source))
+        return out - back
+
+
+def feasible_scaling(
+    graph: SessionGraph,
+    rates: Dict[int, float],
+    *,
+    saturate: bool = False,
+    max_scale_up: float = 2.0,
+) -> Tuple[Dict[int, float], float]:
+    """Rescale rates against the MAC constraint (4).
+
+    "Feasible schedules can be generated by rescaling the broadcast rate"
+    (Sec. 3.2): if any receiver's neighborhood load exceeds the capacity,
+    divide every rate by the worst overload factor.
+
+    With ``saturate=True`` the vector is also scaled *up* (bounded by
+    ``max_scale_up``) until the tightest neighborhood reaches the
+    capacity.  The paper frames the allocation's value as the rate
+    *vector* ("rather than to compute the absolute optimal throughput
+    value", Sec. 3.2); when the binding constraint was informational
+    (5b) rather than the MAC, saturating preserves the optimized
+    proportions while using the airtime the schedule actually has —
+    headroom that covers the redundancy real coded streams incur.
+
+    Returns the scaled rates and the divisor applied (< 1 means the
+    vector was scaled up).
+    """
+    worst = 0.0
+    for node in graph.mac_constrained_nodes():
+        load = rates.get(node, 0.0) + sum(
+            rates.get(j, 0.0) for j in graph.neighbors[node]
+        )
+        worst = max(worst, load)
+    if worst <= 0.0:
+        return dict(rates), 1.0
+    if worst > 1.0:
+        factor = worst
+    elif saturate:
+        factor = max(worst, 1.0 / max_scale_up)
+    else:
+        factor = 1.0
+    if factor == 1.0:
+        return dict(rates), 1.0
+    return {n: min(1.0, b / factor) for n, b in rates.items()}, factor

@@ -1,0 +1,158 @@
+"""SUB1 — the multipath opportunistic routing subproblem (paper Sec. 3.3).
+
+Given the Lagrange prices lambda_ij on the relaxed loss-coupling
+constraint, SUB1 is
+
+    max  gamma - sum_ij lambda_ij x_ij     s.t. flow conservation, x >= 0.
+
+The paper transforms the throughput objective into the strictly concave
+utility U(gamma) = ln(gamma) (same optimizer), after which the x-part is
+a plain shortest-path problem in the link costs lambda_ij: route
+gamma = U'^{-1}(p_min) = 1 / p_min units along the cheapest path, where
+p_min is the path cost (eq. 12).
+
+Because the per-iteration solution uses a single path, the paper applies
+*primal recovery* (Sherali & Choi): averaging the iterates (eq. 13)
+yields a primal-optimal **multipath** allocation — single shortest paths
+per iteration average into a genuine multipath rate assignment.  The
+averaging implementation (including the tail refinement) lives in
+:mod:`repro.optimization.recovery`.
+
+Rates are capacity-normalized; gamma is clamped to ``gamma_cap`` (default
+1.0 = the channel capacity) because early iterations have near-zero
+prices and eq. 12 would otherwise demand unbounded flow.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.optimization.problem import SessionGraph
+from repro.optimization.recovery import IterateAverager
+from repro.routing.shortest_path import dijkstra
+from repro.topology.graph import Link
+
+
+@dataclass(frozen=True)
+class Sub1Iterate:
+    """One SUB1 solution: the chosen path and the injected rate."""
+
+    path: Tuple[int, ...]
+    path_cost: float
+    gamma: float
+    flows: Dict[Link, float]
+
+
+class Sub1Router:
+    """Stateful SUB1 solver with primal recovery.
+
+    One :meth:`step` per outer iteration of the rate-control algorithm.
+    :attr:`recovered_flows` and :attr:`recovered_gamma` expose the
+    averaged allocation of eq. (13).
+    """
+
+    def __init__(
+        self,
+        graph: SessionGraph,
+        *,
+        gamma_cap: float = 1.0,
+        primal_recovery: bool = True,
+        recovery_tail: float = 0.5,
+    ) -> None:
+        if gamma_cap <= 0:
+            raise ValueError(f"gamma_cap must be > 0, got {gamma_cap}")
+        self._graph = graph
+        self._gamma_cap = gamma_cap
+        self._primal_recovery = primal_recovery
+        self._link_order = list(graph.links)
+        self._link_pos = {link: k for k, link in enumerate(self._link_order)}
+        self._averager = IterateAverager(len(self._link_order), tail=recovery_tail)
+        self._gamma_averager = IterateAverager(1, tail=recovery_tail)
+        self._last: Optional[Sub1Iterate] = None
+
+    @property
+    def iterations(self) -> int:
+        """Number of SUB1 steps taken."""
+        return self._averager.count
+
+    @property
+    def last_iterate(self) -> Optional[Sub1Iterate]:
+        """The most recent per-iteration solution."""
+        return self._last
+
+    @property
+    def recovered_flows(self) -> Dict[Link, float]:
+        """x_bar(t): averaged link flows (eq. 13).
+
+        With ``primal_recovery=False`` (ablation) returns the latest
+        instantaneous flows instead.
+        """
+        if self.iterations == 0:
+            return {link: 0.0 for link in self._link_order}
+        if not self._primal_recovery:
+            assert self._last is not None
+            return dict(self._last.flows)
+        averaged = self._averager.average()
+        return {
+            link: float(averaged[k]) for k, link in enumerate(self._link_order)
+        }
+
+    @property
+    def recovered_gamma(self) -> float:
+        """gamma_bar(t): averaged injected rate."""
+        if self.iterations == 0:
+            return 0.0
+        if not self._primal_recovery:
+            assert self._last is not None
+            return self._last.gamma
+        return float(self._gamma_averager.average()[0])
+
+    def step(self, prices: Dict[Link, float]) -> Sub1Iterate:
+        """Solve SUB1 for the current prices and update the averages.
+
+        Args:
+            prices: lambda_ij >= 0 for every session link.
+
+        Raises:
+            ValueError: if a price is negative or the destination is
+                unreachable (cannot happen on a valid session graph).
+        """
+        weights = {}
+        for link in self._link_order:
+            price = prices.get(link, 0.0)
+            if price < 0:
+                raise ValueError(f"negative price on link {link}: {price}")
+            weights[link] = price
+        result = dijkstra(self._graph.nodes, weights, self._graph.source)
+        if self._graph.destination not in result.distance:
+            raise ValueError("destination unreachable in session graph")
+        path = result.path_to(self._graph.destination)
+        assert path is not None
+        path_cost = result.distance[self._graph.destination]
+        gamma = self._gamma_from_cost(path_cost)
+        flows = {link: 0.0 for link in self._link_order}
+        for hop in zip(path, path[1:]):
+            flows[hop] = gamma
+        iterate = Sub1Iterate(
+            path=path, path_cost=path_cost, gamma=gamma, flows=flows
+        )
+        vector = np.zeros(len(self._link_order))
+        for hop in zip(path, path[1:]):
+            vector[self._link_pos[hop]] = gamma
+        self._averager.push(vector)
+        self._gamma_averager.push(np.array([gamma]))
+        self._last = iterate
+        return iterate
+
+    def _gamma_from_cost(self, path_cost: float) -> float:
+        """gamma = U'^{-1}(p_min) = 1 / p_min for U = ln, capped.
+
+        U'(gamma) = 1/gamma, so the stationarity condition
+        d/dgamma [gamma * p_min - ln gamma] = 0 gives gamma = 1/p_min.
+        """
+        if path_cost <= 1.0 / self._gamma_cap:
+            return self._gamma_cap
+        return 1.0 / path_cost

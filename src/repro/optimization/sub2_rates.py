@@ -1,0 +1,189 @@
+"""SUB2 — broadcast/encoding rate allocation (paper Sec. 3.3).
+
+Given the prices lambda_ij, SUB2 is
+
+    max  sum_i w_i b_i,   w_i = sum_j lambda_ij p_ij
+    s.t. b_i + sum_{j in N(i)} b_j <= C   for i in V \\ S           (4)
+
+The paper relaxes (4) with congestion prices beta_i — "the congestion
+price charged on node i for its violation of the channel capacity" —
+updated by the subgradient rule (15):
+
+    beta_i(t+1) = [beta_i(t) - theta(t) * (C - b_i - sum_j b_j)]^+
+
+Because the inner Lagrangian (16) is linear in b, the paper adds a
+proximal quadratic term -c * ||b - b(t)||^2 to make it strictly convex,
+yielding the closed-form update (17):
+
+    b_i(t+1) = clip( b_i(t) + (w_i - beta_i - sum_{j in N(i)} beta_j) / (2c),
+                     0, C )
+
+Finally primal recovery (18) averages the iterates.
+
+Every quantity a node needs — its own w_i, its neighbors' beta_j and
+b_j — travels one hop, which is why the paper calls the algorithm
+distributed ("each node sends its rate and congestion price to its
+neighbors").  The message-passing version lives in
+:mod:`repro.optimization.messages`; this module is the numerical core.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.optimization.problem import SessionGraph
+from repro.optimization.recovery import IterateAverager
+from repro.optimization.subgradient import project_nonnegative
+from repro.topology.graph import Link
+
+
+@dataclass(frozen=True)
+class Sub2Iterate:
+    """One SUB2 update: instantaneous rates and congestion prices."""
+
+    rates: Dict[int, float]
+    congestion_prices: Dict[int, float]
+    worst_violation: float
+
+
+class Sub2RateAllocator:
+    """Stateful SUB2 solver with congestion pricing and primal recovery."""
+
+    def __init__(
+        self,
+        graph: SessionGraph,
+        *,
+        proximal_c: float = 0.5,
+        initial_rate: float = 0.01,
+        primal_recovery: bool = True,
+        recovery_tail: float = 0.5,
+    ) -> None:
+        if proximal_c <= 0:
+            raise ValueError(f"proximal_c must be > 0, got {proximal_c}")
+        if not 0 <= initial_rate <= 1:
+            raise ValueError(f"initial_rate must be in [0, 1], got {initial_rate}")
+        self._graph = graph
+        self._proximal_c = proximal_c
+        self._primal_recovery = primal_recovery
+        # "Set elements in b ... to small positive numbers. Initialize the
+        # dual variables to 0." (Table 1, step 1.)
+        self._rates: Dict[int, float] = {
+            node: initial_rate for node in graph.nodes
+        }
+        self._rates[graph.destination] = 0.0  # destination never broadcasts
+        self._beta: Dict[int, float] = {
+            node: 0.0 for node in graph.mac_constrained_nodes()
+        }
+        self._node_order = list(graph.nodes)
+        self._averager = IterateAverager(len(self._node_order), tail=recovery_tail)
+        self._last: Optional[Sub2Iterate] = None
+
+    @property
+    def iterations(self) -> int:
+        """Number of SUB2 steps taken."""
+        return self._averager.count
+
+    @property
+    def last_iterate(self) -> Optional[Sub2Iterate]:
+        """The most recent per-iteration solution."""
+        return self._last
+
+    @property
+    def rates(self) -> Dict[int, float]:
+        """Current instantaneous broadcast rates b(t)."""
+        return dict(self._rates)
+
+    @property
+    def congestion_prices(self) -> Dict[int, float]:
+        """Current congestion prices beta(t)."""
+        return dict(self._beta)
+
+    @property
+    def recovered_rates(self) -> Dict[int, float]:
+        """b_bar(t): averaged rates (eq. 18), or the latest rates when
+        primal recovery is disabled (ablation)."""
+        if self.iterations == 0 or not self._primal_recovery:
+            return dict(self._rates)
+        averaged = self._averager.average()
+        return {
+            node: float(averaged[k]) for k, node in enumerate(self._node_order)
+        }
+
+    def step(
+        self,
+        prices: Dict[Link, float],
+        step_size: float,
+        union_prices: Optional[Dict[int, float]] = None,
+    ) -> Sub2Iterate:
+        """One synchronized SUB2 update.
+
+        Order follows Table 1 step 4: update the primal variable b with
+        (17), then the congestion price beta with (15), both from the
+        previous iteration's neighbor values.
+
+        ``union_prices`` carries the multipliers mu_i of the broadcast
+        information constraint (5b); they enter the local coefficient as
+        ``mu_i * q_i`` — the reward per unit of rate for carrying the
+        node's aggregate outgoing flow.
+        """
+        if step_size <= 0:
+            raise ValueError(f"step_size must be > 0, got {step_size}")
+        weights = self._link_weights(prices)
+        if union_prices:
+            for node, mu in union_prices.items():
+                if mu < 0:
+                    raise ValueError(f"negative union price on node {node}: {mu}")
+                if mu:
+                    weights[node] = weights.get(node, 0.0) + mu * (
+                        self._graph.union_probability(node)
+                    )
+        old_rates = dict(self._rates)
+        old_beta = dict(self._beta)
+
+        # (17) proximal rate update, clipped to the loose bounds [0, C=1].
+        for node in self._graph.nodes:
+            if node == self._graph.destination:
+                continue
+            charge = old_beta.get(node, 0.0) + sum(
+                old_beta.get(j, 0.0) for j in self._graph.neighbors[node]
+            )
+            gradient = weights.get(node, 0.0) - charge
+            updated = old_rates[node] + gradient / (2.0 * self._proximal_c)
+            self._rates[node] = min(1.0, max(0.0, updated))
+
+        # (15) congestion price update from the *new* rates' slack.
+        worst = 0.0
+        for node in self._graph.mac_constrained_nodes():
+            load = self._rates[node] + sum(
+                self._rates[j] for j in self._graph.neighbors[node]
+            )
+            slack = 1.0 - load
+            worst = max(worst, max(0.0, -slack))
+            self._beta[node] = project_nonnegative(
+                self._beta[node] - step_size * slack
+            )
+
+        self._averager.push(
+            np.array([self._rates[node] for node in self._node_order])
+        )
+        iterate = Sub2Iterate(
+            rates=dict(self._rates),
+            congestion_prices=dict(self._beta),
+            worst_violation=worst,
+        )
+        self._last = iterate
+        return iterate
+
+    def _link_weights(self, prices: Dict[Link, float]) -> Dict[int, float]:
+        """w_i = sum over outgoing links of lambda_ij * p_ij."""
+        weights: Dict[int, float] = {}
+        for link in self._graph.links:
+            i, _ = link
+            price = prices.get(link, 0.0)
+            if price < 0:
+                raise ValueError(f"negative price on link {link}: {price}")
+            weights[i] = weights.get(i, 0.0) + price * self._graph.probability[link]
+        return weights

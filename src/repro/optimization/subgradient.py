@@ -1,0 +1,69 @@
+"""Step-size schedules for the subgradient iterations.
+
+The paper adopts "diminishing step sizes that guarantee convergence
+regardless of the initial value of lambda.  Specifically,
+theta(t) = A / (B + C*t) where A, B and C are tunable parameters that
+regulate convergence speed" (Sec. 3.3), with A=1, B=0.5, C=10 in the
+Fig. 1 showcase.
+
+A constant schedule is provided for the step-size ablation benchmark:
+constant steps only reach a neighborhood of the optimum, which the
+ablation makes visible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.validation import check_non_negative, check_positive
+
+
+class StepSizeSchedule:
+    """Interface: map iteration index t (0-based) to a step size."""
+
+    def __call__(self, t: int) -> float:
+        raise NotImplementedError
+
+
+@dataclass(frozen=True)
+class DiminishingStepSize(StepSizeSchedule):
+    """theta(t) = a / (b + c * t) — the paper's schedule.
+
+    It is square-summable-but-not-summable for c > 0, the classic
+    condition under which dual subgradient iterates converge to an
+    optimal dual solution.
+    """
+
+    a: float = 1.0
+    b: float = 0.5
+    c: float = 10.0
+
+    def __post_init__(self) -> None:
+        check_positive("a", self.a)
+        check_positive("b", self.b)
+        check_non_negative("c", self.c)
+
+    def __call__(self, t: int) -> float:
+        if t < 0:
+            raise ValueError(f"iteration index must be >= 0, got {t}")
+        return self.a / (self.b + self.c * t)
+
+
+@dataclass(frozen=True)
+class ConstantStepSize(StepSizeSchedule):
+    """theta(t) = value; converges only to a neighborhood (ablation)."""
+
+    value: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_positive("value", self.value)
+
+    def __call__(self, t: int) -> float:
+        if t < 0:
+            raise ValueError(f"iteration index must be >= 0, got {t}")
+        return self.value
+
+
+def project_nonnegative(value: float) -> float:
+    """The [.]^+ projection used by every multiplier update."""
+    return value if value > 0.0 else 0.0

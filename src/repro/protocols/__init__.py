@@ -1,0 +1,45 @@
+"""Protocol control planes: OMNC and its three comparison baselines.
+
+* :mod:`repro.protocols.omnc` — node selection + distributed rate
+  control (the paper's contribution).
+* :mod:`repro.protocols.more` — the MORE heuristic (ETX-ordered expected
+  transmissions, TX credits, no rate control).
+* :mod:`repro.protocols.oldmore` — the preliminary MORE: credits from
+  the Lun et al. min-cost LP (prunes low-quality paths, no rate control).
+* :mod:`repro.protocols.etx_routing` — single best-path routing under
+  the ETX metric (the throughput-gain denominator).
+* :mod:`repro.protocols.base` — the plan dataclasses the emulator runs.
+"""
+
+from repro.protocols.base import (
+    CodedBroadcastPlan,
+    CreditBroadcastPlan,
+    UnicastPathPlan,
+)
+from repro.protocols.etx_routing import plan_etx_route, predicted_etx_throughput
+from repro.protocols.more import (
+    compute_expected_transmissions,
+    compute_tx_credits,
+    effective_forwarders,
+    plan_more,
+    total_expected_transmissions,
+)
+from repro.protocols.oldmore import plan_oldmore
+from repro.protocols.omnc import OmncPlanReport, plan_omnc, plan_omnc_detailed
+
+__all__ = [
+    "CodedBroadcastPlan",
+    "CreditBroadcastPlan",
+    "OmncPlanReport",
+    "UnicastPathPlan",
+    "compute_expected_transmissions",
+    "compute_tx_credits",
+    "effective_forwarders",
+    "plan_etx_route",
+    "plan_more",
+    "plan_oldmore",
+    "plan_omnc",
+    "plan_omnc_detailed",
+    "predicted_etx_throughput",
+    "total_expected_transmissions",
+]

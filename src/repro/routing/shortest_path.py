@@ -1,0 +1,212 @@
+"""Shortest paths: centralized Dijkstra and distributed Bellman-Ford.
+
+Both entry points operate on arbitrary non-negative link weights keyed by
+directed link, so the same code serves
+
+* ETX routing (weights = 1/p_ij),
+* the node-selection distance flood (ETX distance to the destination),
+* SUB1 of the rate-control decomposition (weights = Lagrange prices
+  lambda_ij), which the paper solves "in a distributed manner".
+
+:class:`DistributedBellmanFord` mirrors how the protocol would actually
+compute distances in the field: each node repeatedly exchanges distance
+vectors with neighbors until no estimate changes.  Its results agree with
+Dijkstra (tests enforce this); the emulation uses whichever is cheaper.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+
+Link = Tuple[int, int]
+
+_INF = float("inf")
+
+
+@dataclass
+class ShortestPathResult:
+    """Distances and predecessor tree from one Dijkstra/Bellman-Ford run.
+
+    ``distance[v]`` is the weight of the best path; unreachable nodes are
+    absent.  ``predecessor[v]`` gives the upstream hop toward the source
+    of the computation.
+    """
+
+    source: int
+    distance: Dict[int, float] = field(default_factory=dict)
+    predecessor: Dict[int, int] = field(default_factory=dict)
+
+    def path_to(self, target: int) -> Optional[Tuple[int, ...]]:
+        """Reconstruct the node sequence source..target, or None."""
+        if target not in self.distance:
+            return None
+        hops: List[int] = [target]
+        node = target
+        while node != self.source:
+            node = self.predecessor[node]
+            hops.append(node)
+        return tuple(reversed(hops))
+
+    def hop_count(self, target: int) -> Optional[int]:
+        """Number of hops on the best path, or None if unreachable."""
+        path = self.path_to(target)
+        if path is None:
+            return None
+        return len(path) - 1
+
+
+def dijkstra(
+    nodes: Iterable[int],
+    weights: Mapping[Link, float],
+    source: int,
+) -> ShortestPathResult:
+    """Single-source shortest paths with non-negative weights.
+
+    ``weights`` maps directed links (i, j) to costs; absent links do not
+    exist.  Raises ``ValueError`` on a negative weight.
+    """
+    node_set = set(nodes)
+    if source not in node_set:
+        raise ValueError(f"source {source} not among nodes")
+    adjacency: Dict[int, List[Tuple[int, float]]] = {n: [] for n in node_set}
+    for (i, j), w in weights.items():
+        if w < 0:
+            raise ValueError(f"negative weight on link ({i},{j}): {w}")
+        if i in node_set and j in node_set:
+            adjacency[i].append((j, w))
+
+    result = ShortestPathResult(source=source)
+    result.distance[source] = 0.0
+    heap: List[Tuple[float, int]] = [(0.0, source)]
+    settled: set = set()
+    while heap:
+        dist, node = heapq.heappop(heap)
+        if node in settled:
+            continue
+        settled.add(node)
+        for neighbor, weight in adjacency[node]:
+            candidate = dist + weight
+            if candidate < result.distance.get(neighbor, _INF):
+                result.distance[neighbor] = candidate
+                result.predecessor[neighbor] = node
+                heapq.heappush(heap, (candidate, neighbor))
+    return result
+
+
+def dijkstra_to_destination(
+    nodes: Iterable[int],
+    weights: Mapping[Link, float],
+    destination: int,
+) -> ShortestPathResult:
+    """Shortest distance *to* ``destination`` from every node.
+
+    Runs Dijkstra on the reversed graph; ``distance[v]`` is then the cost
+    of v's best path toward the destination — the quantity each node
+    needs for node selection ("each node needs to compute its distance to
+    the destination", Sec. 4).  ``predecessor[v]`` is v's next hop toward
+    the destination.
+    """
+    reversed_weights = {(j, i): w for (i, j), w in weights.items()}
+    reversed_result = dijkstra(nodes, reversed_weights, destination)
+    result = ShortestPathResult(source=destination)
+    result.distance = reversed_result.distance
+    result.predecessor = reversed_result.predecessor
+    return result
+
+
+class DistributedBellmanFord:
+    """Distance-vector computation by iterative neighbor exchange.
+
+    Each node holds an estimate of its distance to the destination and a
+    next hop.  One :meth:`round` has every node pull its neighbors'
+    current estimates (the message exchange) and relax.  Convergence is
+    reached when a round changes nothing; with non-negative weights this
+    takes at most |V| - 1 rounds.
+    """
+
+    def __init__(
+        self,
+        nodes: Iterable[int],
+        weights: Mapping[Link, float],
+        destination: int,
+    ) -> None:
+        self._nodes = sorted(set(nodes))
+        if destination not in self._nodes:
+            raise ValueError(f"destination {destination} not among nodes")
+        for (i, j), w in weights.items():
+            if w < 0:
+                raise ValueError(f"negative weight on link ({i},{j}): {w}")
+        self._weights = dict(weights)
+        self._destination = destination
+        self._estimate: Dict[int, float] = {n: _INF for n in self._nodes}
+        self._estimate[destination] = 0.0
+        self._next_hop: Dict[int, Optional[int]] = {n: None for n in self._nodes}
+        self._rounds = 0
+        self._converged = False
+
+    @property
+    def rounds(self) -> int:
+        """Message-exchange rounds executed so far."""
+        return self._rounds
+
+    @property
+    def converged(self) -> bool:
+        """True once a round produced no change."""
+        return self._converged
+
+    def round(self) -> bool:
+        """Run one synchronous exchange round; returns True if anything
+        changed."""
+        changed = False
+        snapshot = dict(self._estimate)  # nodes read last round's values
+        for (i, j), w in self._weights.items():
+            through = snapshot.get(j, _INF)
+            if through == _INF:
+                continue
+            candidate = w + through
+            if candidate < self._estimate[i] - 1e-15:
+                self._estimate[i] = candidate
+                self._next_hop[i] = j
+                changed = True
+        self._rounds += 1
+        if not changed:
+            self._converged = True
+        return changed
+
+    def run(self, max_rounds: Optional[int] = None) -> "DistributedBellmanFord":
+        """Iterate rounds to convergence (or ``max_rounds``)."""
+        limit = max_rounds if max_rounds is not None else len(self._nodes)
+        for _ in range(limit):
+            if not self.round():
+                break
+        return self
+
+    def distance(self, node: int) -> float:
+        """Current distance estimate of ``node`` to the destination."""
+        return self._estimate[node]
+
+    def next_hop(self, node: int) -> Optional[int]:
+        """Current next hop of ``node`` toward the destination."""
+        return self._next_hop[node]
+
+    def distances(self) -> Dict[int, float]:
+        """All finite distance estimates."""
+        return {n: d for n, d in self._estimate.items() if d < _INF}
+
+    def path_from(self, node: int) -> Optional[Tuple[int, ...]]:
+        """Follow next hops from ``node`` to the destination."""
+        if self._estimate[node] == _INF:
+            return None
+        path = [node]
+        current = node
+        seen = {node}
+        while current != self._destination:
+            nxt = self._next_hop[current]
+            if nxt is None or nxt in seen:
+                return None  # not yet converged / transient loop
+            path.append(nxt)
+            seen.add(nxt)
+            current = nxt
+        return tuple(path)

@@ -1,0 +1,82 @@
+"""Lossy wireless topologies: geometry, PHY model, network graphs.
+
+* :mod:`repro.topology.geometry` — planar deployment geometry.
+* :mod:`repro.topology.phy` — empirical distance -> reception-probability
+  model with a power knob (paper Sec. 5 PHY model).
+* :mod:`repro.topology.graph` — the :class:`WirelessNetwork` abstraction:
+  directed lossy links, neighborhoods, interference, channel capacity.
+* :mod:`repro.topology.random_network` — random deployments with density
+  control plus the small canonical topologies used in tests and figures.
+"""
+
+from repro.topology.geometry import (
+    DeploymentArea,
+    Point,
+    area_for_density,
+    grid_positions,
+    pairwise_distances,
+    positions_array,
+)
+from repro.topology.graph import (
+    DEFAULT_CHANNEL_CAPACITY,
+    SubNetworkView,
+    WirelessNetwork,
+)
+from repro.topology.phy import (
+    DEFAULT_RANGE_THRESHOLD,
+    EmpiricalPhyModel,
+    PhyParams,
+    high_quality_phy,
+    lossy_phy,
+)
+from repro.topology.dynamics import (
+    ReplanCost,
+    perturb_link_qualities,
+    quality_drift,
+    replan_cost,
+)
+from repro.topology.random_network import (
+    chain_topology,
+    diamond_topology,
+    draw_link_probabilities,
+    fig1_sample_topology,
+    network_from_links,
+    random_network,
+)
+from repro.topology.serialization import (
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+
+__all__ = [
+    "DEFAULT_CHANNEL_CAPACITY",
+    "DEFAULT_RANGE_THRESHOLD",
+    "DeploymentArea",
+    "EmpiricalPhyModel",
+    "PhyParams",
+    "Point",
+    "SubNetworkView",
+    "WirelessNetwork",
+    "area_for_density",
+    "chain_topology",
+    "diamond_topology",
+    "draw_link_probabilities",
+    "fig1_sample_topology",
+    "grid_positions",
+    "high_quality_phy",
+    "load_network",
+    "lossy_phy",
+    "network_from_dict",
+    "network_to_dict",
+    "perturb_link_qualities",
+    "quality_drift",
+    "replan_cost",
+    "ReplanCost",
+    "save_network",
+    "network_from_links",
+    "pairwise_distances",
+    "positions_array",
+    "random_network",
+]

@@ -1,0 +1,146 @@
+"""Link-quality dynamics and re-planning support (paper Sec. 4).
+
+OMNC "is based on the presumption that the link qualities in the target
+network are relatively stable over time ... In cases where link
+qualities change significantly, the node selection and rate allocation
+have to be re-initiated, which brings a certain amount of overhead."
+
+This module supplies the machinery to study exactly that trade-off:
+
+* :func:`perturb_link_qualities` — produce a drifted copy of a network
+  (logit-space Gaussian drift, the same noise family the PHY's
+  shadowing uses), preserving geometry and neighborhoods;
+* :func:`quality_drift` — quantify how far two snapshots of the same
+  topology have diverged (the trigger signal a deployment would
+  monitor);
+* :func:`replan_cost` — the control-plane overhead of a re-initiation:
+  the pseudo-broadcast flood for node selection plus the rate-control
+  message census, in messages and in channel-seconds.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.topology.graph import Link, WirelessNetwork
+from repro.util.rng import RngLike, as_rng
+
+if False:  # pragma: no cover - type-checking aid without import cycles
+    from repro.optimization.rate_control import RateControlConfig
+
+
+def perturb_link_qualities(
+    network: WirelessNetwork,
+    *,
+    sigma: float = 0.3,
+    rng: RngLike = None,
+) -> WirelessNetwork:
+    """A drifted copy of ``network``: same geometry, shifted qualities.
+
+    Every link probability moves by Gaussian noise of scale ``sigma`` in
+    logit space (multiplicative on odds), clipped to [0.02, 0.995] like
+    the PHY model's shadowing.  ``sigma=0`` returns an identical copy.
+    """
+    if sigma < 0:
+        raise ValueError(f"sigma must be >= 0, got {sigma}")
+    generator = as_rng(rng)
+    drifted: Dict[Link, float] = {}
+    for i, j, p in network.links():
+        if sigma == 0.0:
+            drifted[(i, j)] = p
+            continue
+        logit = np.log(p / (1.0 - p))
+        shifted = logit + generator.normal(0.0, sigma)
+        value = 1.0 / (1.0 + np.exp(-shifted))
+        drifted[(i, j)] = float(np.clip(value, 0.02, 0.995))
+    return WirelessNetwork(
+        network.positions,
+        drifted,
+        network.communication_range,
+        capacity=network.capacity,
+    )
+
+
+def quality_drift(before: WirelessNetwork, after: WirelessNetwork) -> float:
+    """Mean absolute link-probability change between two snapshots.
+
+    Both networks must describe the same link set (same geometry); this
+    is the magnitude a deployment's probing would observe and compare
+    against its re-planning threshold.
+    """
+    links_before = {(i, j): p for i, j, p in before.links()}
+    links_after = {(i, j): p for i, j, p in after.links()}
+    if set(links_before) != set(links_after):
+        raise ValueError("networks have different link sets")
+    if not links_before:
+        return 0.0
+    total = sum(
+        abs(links_after[link] - p) for link, p in links_before.items()
+    )
+    return total / len(links_before)
+
+
+@dataclass(frozen=True)
+class ReplanCost:
+    """Control-plane cost of one re-initiation (paper Sec. 4 overhead).
+
+    Attributes:
+        flood_transmissions: expected MAC transmissions of the
+            node-selection pseudo-broadcast flood.
+        rate_control_messages: messages exchanged by the distributed
+            rate control run.
+        rate_control_iterations: outer iterations it took.
+        channel_seconds: total airtime of both phases at the network's
+            capacity, assuming ``control_packet_bytes`` per message —
+            the session's data plane is stalled for (at most) this long.
+    """
+
+    flood_transmissions: float
+    rate_control_messages: int
+    rate_control_iterations: int
+    channel_seconds: float
+
+
+def replan_cost(
+    network: WirelessNetwork,
+    source: int,
+    destination: int,
+    *,
+    control_packet_bytes: int = 64,
+    config: Optional["RateControlConfig"] = None,
+) -> ReplanCost:
+    """Measure the full cost of re-initiating one session's control plane.
+
+    Runs the actual node-selection flood cost model and the actual
+    message-passing rate control on the (new) topology, so the returned
+    numbers are measurements, not estimates.
+    """
+    # Imported lazily: repro.topology must stay importable without
+    # dragging in the optimization stack (which itself imports topology).
+    from repro.optimization.messages import MessagePassingRateControl
+    from repro.optimization.problem import session_graph_from_selection
+    from repro.routing.node_selection import select_forwarders
+    from repro.routing.pseudo_broadcast import reliable_flood
+
+    if control_packet_bytes <= 0:
+        raise ValueError("control_packet_bytes must be > 0")
+    flood = reliable_flood(network, source)
+    forwarders = select_forwarders(network, source, destination)
+    graph = session_graph_from_selection(network, forwarders)
+    controller = MessagePassingRateControl(graph, config)
+    result = controller.run()
+    messages = controller.stats.total
+    airtime = (
+        (flood.total_transmissions + messages)
+        * control_packet_bytes
+        / network.capacity
+    )
+    return ReplanCost(
+        flood_transmissions=flood.total_transmissions,
+        rate_control_messages=messages,
+        rate_control_iterations=result.iterations,
+        channel_seconds=airtime,
+    )

@@ -1,0 +1,113 @@
+"""Planar geometry for node deployments.
+
+Nodes live on a 2-D plane; all distances are Euclidean.  The module keeps
+the representation numpy-friendly (an (n, 2) float array of positions)
+because distance matrices over hundreds of nodes are on the hot path of
+topology generation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+import numpy as np
+
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class Point:
+    """An immutable 2-D point."""
+
+    x: float
+    y: float
+
+    def distance_to(self, other: "Point") -> float:
+        """Euclidean distance to ``other``."""
+        return math.hypot(self.x - other.x, self.y - other.y)
+
+    def as_array(self) -> np.ndarray:
+        """The point as a length-2 float array."""
+        return np.array([self.x, self.y], dtype=float)
+
+
+def positions_array(points: Iterable[Point]) -> np.ndarray:
+    """Stack points into an (n, 2) array."""
+    data = [(p.x, p.y) for p in points]
+    if not data:
+        return np.zeros((0, 2), dtype=float)
+    return np.array(data, dtype=float)
+
+
+def pairwise_distances(positions: np.ndarray) -> np.ndarray:
+    """Full (n, n) Euclidean distance matrix.
+
+    ``positions`` is an (n, 2) array.  The diagonal is zero.
+    """
+    positions = np.asarray(positions, dtype=float)
+    if positions.ndim != 2 or positions.shape[1] != 2:
+        raise ValueError(f"positions must be (n, 2), got {positions.shape}")
+    deltas = positions[:, None, :] - positions[None, :, :]
+    return np.sqrt(np.sum(deltas * deltas, axis=-1))
+
+
+@dataclass(frozen=True)
+class DeploymentArea:
+    """A rectangular deployment region [0, width] x [0, height]."""
+
+    width: float
+    height: float
+
+    def __post_init__(self) -> None:
+        check_positive("width", self.width)
+        check_positive("height", self.height)
+
+    @property
+    def area(self) -> float:
+        """Region area in square distance units."""
+        return self.width * self.height
+
+    def contains(self, point: Point) -> bool:
+        """True if ``point`` lies inside the region (inclusive)."""
+        return 0.0 <= point.x <= self.width and 0.0 <= point.y <= self.height
+
+    def sample_points(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Draw ``count`` uniform points as an (count, 2) array."""
+        if count < 0:
+            raise ValueError(f"count must be >= 0, got {count}")
+        xs = rng.uniform(0.0, self.width, size=count)
+        ys = rng.uniform(0.0, self.height, size=count)
+        return np.column_stack([xs, ys])
+
+
+def area_for_density(
+    node_count: int, neighbors_per_node: float, communication_range: float
+) -> DeploymentArea:
+    """Square deployment area giving the requested average node density.
+
+    The paper deploys 300 nodes "with density 6, i.e., each node has on
+    average 5 neighbors within its range".  With uniform placement the
+    expected number of nodes inside a range disk is
+    ``density = node_count * pi * range^2 / area`` (self included), so the
+    side length follows directly.
+    """
+    check_positive("node_count", node_count)
+    check_positive("neighbors_per_node", neighbors_per_node)
+    check_positive("communication_range", communication_range)
+    density = neighbors_per_node + 1  # disk population counts the node itself
+    area = node_count * math.pi * communication_range**2 / density
+    side = math.sqrt(area)
+    return DeploymentArea(width=side, height=side)
+
+
+def grid_positions(rows: int, cols: int, spacing: float) -> np.ndarray:
+    """Regular grid deployment, useful for deterministic tests."""
+    check_positive("rows", rows)
+    check_positive("cols", cols)
+    check_positive("spacing", spacing)
+    points: Tuple[Tuple[float, float], ...] = tuple(
+        (c * spacing, r * spacing) for r in range(rows) for c in range(cols)
+    )
+    return np.array(points, dtype=float)

@@ -1,0 +1,288 @@
+"""The wireless network abstraction shared by every layer of the stack.
+
+:class:`WirelessNetwork` bundles what the paper's G(V, E) carries:
+
+* node positions and the communication/interference range (the paper
+  treats the two as equal — Sec. 3.2);
+* directed link reception probabilities ``p_ij`` (possibly asymmetric,
+  as in measured networks);
+* neighborhoods ``N(i)`` — nodes within range, used both for packet
+  delivery and for the broadcast MAC constraint
+  ``b_i + sum_{j in N(i)} b_j <= C``;
+* the MAC-layer channel capacity ``C``.
+
+The class is immutable after construction; protocols and the emulator
+treat it as ground truth.  Probe-based *measurement* of link qualities
+(what a deployed system would do) lives in :mod:`repro.routing.etx`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
+
+import networkx as nx
+import numpy as np
+
+from repro.topology.geometry import pairwise_distances
+from repro.util.validation import check_positive
+
+Link = Tuple[int, int]
+
+DEFAULT_CHANNEL_CAPACITY = 2e4  # bytes/second, paper Sec. 5: CBR = C/2 = 10^4 B/s
+
+
+class WirelessNetwork:
+    """An immutable lossy wireless network graph."""
+
+    def __init__(
+        self,
+        positions: np.ndarray,
+        probabilities: Dict[Link, float],
+        communication_range: float,
+        *,
+        capacity: float = DEFAULT_CHANNEL_CAPACITY,
+    ) -> None:
+        positions = np.asarray(positions, dtype=float)
+        if positions.ndim != 2 or positions.shape[1] != 2:
+            raise ValueError(f"positions must be (n, 2), got {positions.shape}")
+        check_positive("communication_range", communication_range)
+        check_positive("capacity", capacity)
+        n = positions.shape[0]
+        self._positions = positions.copy()
+        self._positions.setflags(write=False)
+        self._range = float(communication_range)
+        self._capacity = float(capacity)
+        self._distances = pairwise_distances(positions)
+        self._distances.setflags(write=False)
+
+        self._p: Dict[Link, float] = {}
+        tolerance = 1e-9 * self._range
+        for (i, j), prob in probabilities.items():
+            self._validate_link(i, j, n)
+            if not 0.0 < prob <= 1.0:
+                raise ValueError(f"link ({i},{j}) probability must be in (0,1], got {prob}")
+            if self._distances[i, j] > self._range + tolerance:
+                raise ValueError(
+                    f"link ({i},{j}) spans {self._distances[i, j]:.3f}, "
+                    f"beyond the communication range {self._range:.3f}"
+                )
+            self._p[(i, j)] = float(prob)
+
+        # Neighborhoods are purely geometric: within range, regardless of
+        # whether the probability draw produced a usable link.  This is
+        # what the interference model keys on.
+        self._neighbors: List[FrozenSet[int]] = []
+        for i in range(n):
+            close = np.nonzero(
+                (self._distances[i] <= self._range) & (np.arange(n) != i)
+            )[0]
+            self._neighbors.append(frozenset(int(j) for j in close))
+
+        self._out_links: List[Tuple[int, ...]] = [
+            tuple(sorted(j for (a, j) in self._p if a == i)) for i in range(n)
+        ]
+        self._in_links: List[Tuple[int, ...]] = [
+            tuple(sorted(a for (a, j) in self._p if j == i)) for i in range(n)
+        ]
+
+    @staticmethod
+    def _validate_link(i: int, j: int, n: int) -> None:
+        if not (0 <= i < n and 0 <= j < n):
+            raise ValueError(f"link ({i},{j}) references nodes outside 0..{n - 1}")
+        if i == j:
+            raise ValueError(f"self-link ({i},{i}) is not allowed")
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def node_count(self) -> int:
+        """Number of nodes |V|."""
+        return self._positions.shape[0]
+
+    @property
+    def positions(self) -> np.ndarray:
+        """Read-only (n, 2) position array."""
+        return self._positions
+
+    @property
+    def communication_range(self) -> float:
+        """Transmission (= interference) range."""
+        return self._range
+
+    @property
+    def capacity(self) -> float:
+        """MAC channel capacity C in bytes/second."""
+        return self._capacity
+
+    def nodes(self) -> range:
+        """Iterate node identifiers 0..n-1."""
+        return range(self.node_count)
+
+    def distance(self, i: int, j: int) -> float:
+        """Euclidean distance between nodes ``i`` and ``j``."""
+        return float(self._distances[i, j])
+
+    # ------------------------------------------------------------------
+    # Links and probabilities
+    # ------------------------------------------------------------------
+    def probability(self, i: int, j: int) -> float:
+        """One-way reception probability p_ij; 0 if no link exists."""
+        return self._p.get((i, j), 0.0)
+
+    def has_link(self, i: int, j: int) -> bool:
+        """True if the directed link (i, j) exists."""
+        return (i, j) in self._p
+
+    def links(self) -> Iterator[Tuple[int, int, float]]:
+        """Iterate ``(i, j, p_ij)`` over all directed links."""
+        for (i, j), prob in self._p.items():
+            yield i, j, prob
+
+    def link_count(self) -> int:
+        """Number of directed links |E|."""
+        return len(self._p)
+
+    def out_neighbors(self, i: int) -> Tuple[int, ...]:
+        """Nodes reachable from ``i`` by a directed link."""
+        return self._out_links[i]
+
+    def in_neighbors(self, i: int) -> Tuple[int, ...]:
+        """Nodes with a directed link into ``i``."""
+        return self._in_links[i]
+
+    def neighbors(self, i: int) -> FrozenSet[int]:
+        """The geometric neighborhood N(i): nodes within range of ``i``."""
+        return self._neighbors[i]
+
+    def average_link_probability(self) -> float:
+        """Mean p_ij over all existing links (paper reports 0.58 / 0.91)."""
+        if not self._p:
+            return 0.0
+        return float(np.mean(list(self._p.values())))
+
+    # ------------------------------------------------------------------
+    # Derived structures
+    # ------------------------------------------------------------------
+    def subnetwork(self, keep: FrozenSet[int]) -> "SubNetworkView":
+        """A view restricted to ``keep`` (used after node selection).
+
+        Neighborhoods in the view still include *all* in-range nodes from
+        the full network when asked via :meth:`SubNetworkView.interferers`
+        — interference does not disappear because a node was pruned from
+        the forwarding set — but links and routing only span ``keep``.
+        """
+        return SubNetworkView(self, frozenset(keep))
+
+    def to_networkx(self, *, weight: Optional[str] = None) -> nx.DiGraph:
+        """Export as a networkx DiGraph.
+
+        Each edge carries ``probability``; with ``weight='etx'`` an
+        ``etx = 1/p`` attribute is added for shortest-path queries.
+        """
+        graph = nx.DiGraph()
+        graph.add_nodes_from(self.nodes())
+        for i, j, prob in self.links():
+            attrs = {"probability": prob}
+            if weight == "etx":
+                attrs["etx"] = 1.0 / prob
+            graph.add_edge(i, j, **attrs)
+        return graph
+
+    def conflict_neighbors(self, i: int) -> FrozenSet[int]:
+        """Transmitters that conflict with ``i`` under the ideal MAC.
+
+        Two transmitters compete if they fall within range of a common
+        receiver or of each other; with transmission range equal to
+        interference range this reduces to distance <= 2 * range for the
+        common-receiver case.  We use the paper's direct statement — nodes
+        within range of each other interfere — plus the shared-receiver
+        extension used by its MAC constraint.
+        """
+        shared: set = set()
+        for j in self.nodes():
+            if j == i:
+                continue
+            if j in self._neighbors[i]:
+                shared.add(j)
+                continue
+            if self._neighbors[i] & self._neighbors[j]:
+                shared.add(j)
+        return frozenset(shared)
+
+    def __repr__(self) -> str:
+        return (
+            f"WirelessNetwork(nodes={self.node_count}, links={self.link_count()}, "
+            f"range={self._range:.1f}, capacity={self._capacity:.0f} B/s)"
+        )
+
+
+class SubNetworkView:
+    """A read-only restriction of a :class:`WirelessNetwork` to a node set.
+
+    Node identifiers are preserved (no re-indexing), which keeps protocol
+    state keyed consistently across the full network and the selected
+    forwarding subgraph.
+    """
+
+    def __init__(self, base: WirelessNetwork, keep: FrozenSet[int]) -> None:
+        for node in keep:
+            if not 0 <= node < base.node_count:
+                raise ValueError(f"node {node} outside base network")
+        self._base = base
+        self._keep = keep
+
+    @property
+    def base(self) -> WirelessNetwork:
+        """The underlying full network."""
+        return self._base
+
+    @property
+    def node_set(self) -> FrozenSet[int]:
+        """The retained nodes."""
+        return self._keep
+
+    @property
+    def capacity(self) -> float:
+        """MAC channel capacity C (inherited)."""
+        return self._base.capacity
+
+    def nodes(self) -> Tuple[int, ...]:
+        """Retained node identifiers in ascending order."""
+        return tuple(sorted(self._keep))
+
+    def probability(self, i: int, j: int) -> float:
+        """p_ij if both endpoints are retained, else 0."""
+        if i in self._keep and j in self._keep:
+            return self._base.probability(i, j)
+        return 0.0
+
+    def links(self) -> Iterator[Tuple[int, int, float]]:
+        """Directed links with both endpoints retained."""
+        for i, j, prob in self._base.links():
+            if i in self._keep and j in self._keep:
+                yield i, j, prob
+
+    def out_neighbors(self, i: int) -> Tuple[int, ...]:
+        """Retained out-neighbors of ``i``."""
+        return tuple(j for j in self._base.out_neighbors(i) if j in self._keep)
+
+    def in_neighbors(self, i: int) -> Tuple[int, ...]:
+        """Retained in-neighbors of ``i``."""
+        return tuple(j for j in self._base.in_neighbors(i) if j in self._keep)
+
+    def neighbors(self, i: int) -> FrozenSet[int]:
+        """Retained geometric neighbors of ``i``.
+
+        Used by the optimization's MAC constraint: only selected nodes
+        transmit for this session, so only they compete for airtime in
+        the session's rate allocation.
+        """
+        return self._base.neighbors(i) & self._keep
+
+    def interferers(self, i: int) -> FrozenSet[int]:
+        """All in-range nodes of ``i`` in the *full* network."""
+        return self._base.neighbors(i)
+
+    def __repr__(self) -> str:
+        return f"SubNetworkView(nodes={len(self._keep)} of {self._base.node_count})"

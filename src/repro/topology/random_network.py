@@ -1,0 +1,246 @@
+"""Random topology generation matching the paper's evaluation setup.
+
+The evaluation deploys "300 randomly deployed nodes with density 6, i.e.,
+each node has on average 5 neighbors within its range (defined as the
+distance where reception probability is 0.2)".  :func:`random_network`
+reproduces this: uniform placement in a square sized for the requested
+density, link probabilities drawn from the PHY model for every in-range
+ordered pair.
+
+Small deterministic topologies for unit tests and for the paper's Fig. 1
+sample live here as well.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+from repro.topology.geometry import area_for_density, pairwise_distances
+from repro.topology.graph import DEFAULT_CHANNEL_CAPACITY, Link, WirelessNetwork
+from repro.topology.phy import EmpiricalPhyModel, lossy_phy
+from repro.util.rng import RngLike, as_rng
+from repro.util.validation import check_positive
+
+
+def random_network(
+    node_count: int = 300,
+    *,
+    neighbors_per_node: float = 5.0,
+    phy: Optional[EmpiricalPhyModel] = None,
+    capacity: float = DEFAULT_CHANNEL_CAPACITY,
+    rng: RngLike = None,
+    symmetric: bool = False,
+) -> WirelessNetwork:
+    """Deploy a random lossy network.
+
+    Args:
+        node_count: number of nodes (paper: 300).
+        neighbors_per_node: average in-range neighbors (paper: 5, which
+            the paper calls "density 6" counting the node itself).
+        phy: the PHY model; defaults to the calibrated lossy model.
+        capacity: MAC channel capacity in bytes/second.
+        rng: seed or generator for placement and probability draws.
+        symmetric: draw one probability per node pair instead of one per
+            directed link (measured networks are asymmetric; some unit
+            tests want symmetry).
+
+    Every ordered in-range pair gets a link with probability drawn from
+    the PHY model; beyond-range pairs get none (probability 0).
+    """
+    check_positive("node_count", node_count)
+    generator = as_rng(rng)
+    phy_model = phy or lossy_phy(rng=generator)
+    base_range = phy_model.params.communication_range
+    area = area_for_density(node_count, neighbors_per_node, base_range)
+    positions = area.sample_points(node_count, generator)
+    probabilities = draw_link_probabilities(
+        positions, phy_model, base_range, symmetric=symmetric
+    )
+    return WirelessNetwork(
+        positions, probabilities, base_range, capacity=capacity
+    )
+
+
+def draw_link_probabilities(
+    positions: np.ndarray,
+    phy: EmpiricalPhyModel,
+    communication_range: float,
+    *,
+    symmetric: bool = False,
+) -> Dict[Link, float]:
+    """Draw p_ij for every ordered in-range pair from the PHY model.
+
+    The neighborhood relation uses ``communication_range`` (the *base*
+    range defining the topology), while probabilities come from the PHY
+    model, which may be power-scaled above it — reproducing the paper's
+    high-power experiment where the topology stays fixed but link
+    qualities rise.
+    """
+    distances = pairwise_distances(positions)
+    n = positions.shape[0]
+    probabilities: Dict[Link, float] = {}
+    for i in range(n):
+        for j in range(n):
+            if i == j or distances[i, j] > communication_range:
+                continue
+            if symmetric and (j, i) in probabilities:
+                probabilities[(i, j)] = probabilities[(j, i)]
+                continue
+            prob = phy.link_probability(distances[i, j])
+            if prob > 0.0:
+                probabilities[(i, j)] = prob
+    return probabilities
+
+
+def network_from_links(
+    link_probabilities: Dict[Link, float],
+    *,
+    capacity: float = DEFAULT_CHANNEL_CAPACITY,
+    positions: Optional[np.ndarray] = None,
+    communication_range: float = 1.0,
+) -> WirelessNetwork:
+    """Build a network from explicit link probabilities (for tests/figures).
+
+    If ``positions`` are omitted the nodes are laid out on a line with
+    linked nodes placed within range and unlinked ones beyond it is NOT
+    attempted — instead all nodes are placed within one shared range so
+    every node pair interferes.  Pass explicit positions when the
+    interference structure matters.
+    """
+    if not link_probabilities:
+        raise ValueError("at least one link is required")
+    node_count = 1 + max(max(i, j) for (i, j) in link_probabilities)
+    if positions is None:
+        # Cluster everything inside one range disk: a conservative layout
+        # where all transmitters conflict (single collision domain).
+        angles = np.linspace(0.0, 2 * np.pi, node_count, endpoint=False)
+        radius = communication_range / 4.0
+        positions = np.column_stack(
+            [radius * np.cos(angles), radius * np.sin(angles)]
+        )
+    return WirelessNetwork(
+        positions, dict(link_probabilities), communication_range, capacity=capacity
+    )
+
+
+def diamond_topology(
+    p_su: float = 0.6,
+    p_sv: float = 0.5,
+    p_ut: float = 0.7,
+    p_vt: float = 0.8,
+    p_st: float = 0.0,
+    *,
+    capacity: float = 1e5,
+    spaced: bool = True,
+) -> WirelessNetwork:
+    """The canonical two-relay diamond S -> {u, v} -> T of Sec. 3.2.
+
+    Node ids: S=0, u=1, v=2, T=3.  With ``spaced=True`` the two relays are
+    placed out of each other's range (the paper's ``u not in N(v)``
+    assumption), so they can transmit simultaneously; S and T are within
+    range of both relays.
+
+    ``p_st`` optionally adds a weak direct link S -> T.
+    """
+    links: Dict[Link, float] = {}
+    for (i, j), p in (((0, 1), p_su), ((0, 2), p_sv), ((1, 3), p_ut), ((2, 3), p_vt)):
+        if p > 0:
+            links[(i, j)] = p
+    if p_st > 0:
+        links[(0, 3)] = p_st
+    communication_range = 1.0
+    if spaced:
+        # S at origin, T at (1.2, 0), relays above/below the midline at
+        # distance > range from each other but <= range from S and T.
+        positions = np.array(
+            [
+                [0.0, 0.0],  # S
+                [0.6, 0.75],  # u
+                [0.6, -0.75],  # v
+                [1.2, 0.0],  # T
+            ]
+        )
+        # |S-u| = |S-v| = 0.96 <= 1, |u-v| = 1.5 > 1, |u-T| = |v-T| = 0.96.
+    else:
+        positions = np.array([[0.0, 0.0], [0.5, 0.2], [0.5, -0.2], [1.0, 0.0]])
+    if p_st > 0 and spaced:
+        # Direct S-T distance is 1.2 > range; pull T inside range so the
+        # requested direct link is geometrically consistent.
+        positions[3] = [0.99, 0.0]
+    return WirelessNetwork(positions, links, communication_range, capacity=capacity)
+
+
+def chain_topology(
+    hop_probabilities: Tuple[float, ...],
+    *,
+    capacity: float = 1e5,
+    overhearing: Optional[Dict[Link, float]] = None,
+) -> WirelessNetwork:
+    """A linear chain 0 -> 1 -> ... -> n with given per-hop probabilities.
+
+    ``overhearing`` adds extra directed links (e.g. two-hop overhearing
+    (0, 2): 0.2) — place them only between nodes at most two positions
+    apart or the geometry cannot honour them, and a ``ValueError`` is
+    raised.
+    """
+    if not hop_probabilities:
+        raise ValueError("need at least one hop")
+    node_count = len(hop_probabilities) + 1
+    communication_range = 1.0
+    spacing = 0.9
+    positions = np.column_stack(
+        [np.arange(node_count) * spacing * 0.55, np.zeros(node_count)]
+    )
+    # spacing*0.55 ~= 0.495: adjacent and two-apart nodes are in range
+    # (0.99 <= 1), three-apart are out of range.
+    links: Dict[Link, float] = {}
+    for index, p in enumerate(hop_probabilities):
+        if not 0 < p <= 1:
+            raise ValueError(f"hop probability must be in (0,1], got {p}")
+        links[(index, index + 1)] = p
+    if overhearing:
+        for (i, j), p in overhearing.items():
+            if abs(i - j) > 2:
+                raise ValueError(
+                    f"overhearing link ({i},{j}) spans more than two hops"
+                )
+            if not 0 < p <= 1:
+                raise ValueError(f"link probability must be in (0,1], got {p}")
+            links[(i, j)] = p
+    return WirelessNetwork(positions, links, communication_range, capacity=capacity)
+
+
+def fig1_sample_topology(*, capacity: float = 1e5) -> WirelessNetwork:
+    """The small sample topology used for the paper's Fig. 1 convergence plot.
+
+    The paper does not print the exact graph; it describes "the sample
+    topology" with capacity 10^5 bytes/second and tagged reception
+    probabilities, and shows five broadcast-rate curves.  We use a
+    two-relay diamond augmented with a cross-relay and a weak direct
+    link — five transmitting-capable nodes, mixed link qualities — which
+    exhibits the same qualitative convergence behaviour.
+    """
+    links: Dict[Link, float] = {
+        (0, 1): 0.8,   # S -> u1
+        (0, 2): 0.5,   # S -> u2
+        (0, 3): 0.3,   # S -> u3
+        (1, 4): 0.6,   # u1 -> w
+        (2, 4): 0.7,   # u2 -> w
+        (1, 5): 0.4,   # u1 -> T
+        (2, 5): 0.5,   # u2 -> T
+        (3, 5): 0.9,   # u3 -> T
+        (4, 5): 0.75,  # w  -> T
+    }
+    positions = np.array(
+        [
+            [0.0, 0.0],     # 0 S
+            [0.9, 0.5],     # 1 u1
+            [0.9, -0.4],    # 2 u2
+            [0.85, -0.9],   # 3 u3
+            [1.7, 0.0],     # 4 w
+            [1.9, -0.2],    # 5 T
+        ]
+    )
+    return WirelessNetwork(positions, links, 1.3, capacity=capacity)

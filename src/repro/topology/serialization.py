@@ -1,0 +1,91 @@
+"""Topology persistence: save and load networks as JSON documents.
+
+Reproducible experiments need reproducible topologies.  Beyond seeding,
+it is often necessary to pin the *exact* network a result was measured
+on (e.g. to share a counterexample, or to re-run one campaign topology
+under a different protocol).  The JSON document stores positions, the
+communication range, capacity, and every directed link probability —
+everything :class:`~repro.topology.graph.WirelessNetwork` is built from.
+
+Format (version 1)::
+
+    {
+      "format": "repro-wireless-network",
+      "version": 1,
+      "communication_range": 100.0,
+      "capacity": 20000.0,
+      "positions": [[x, y], ...],
+      "links": [[i, j, p_ij], ...]
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, Union
+
+import numpy as np
+
+from repro.topology.graph import Link, WirelessNetwork
+
+FORMAT_NAME = "repro-wireless-network"
+FORMAT_VERSION = 1
+
+
+def network_to_dict(network: WirelessNetwork) -> dict:
+    """Serialize a network to a plain JSON-compatible dictionary."""
+    return {
+        "format": FORMAT_NAME,
+        "version": FORMAT_VERSION,
+        "communication_range": network.communication_range,
+        "capacity": network.capacity,
+        "positions": [
+            [float(x), float(y)] for x, y in network.positions
+        ],
+        "links": [
+            [int(i), int(j), float(p)] for i, j, p in sorted(network.links())
+        ],
+    }
+
+
+def network_from_dict(document: dict) -> WirelessNetwork:
+    """Rebuild a network from :func:`network_to_dict` output.
+
+    Raises ``ValueError`` on unknown formats/versions or malformed
+    documents — a wrong file should fail loudly, not produce a subtly
+    different topology.
+    """
+    if not isinstance(document, dict):
+        raise ValueError(f"expected a dict, got {type(document).__name__}")
+    if document.get("format") != FORMAT_NAME:
+        raise ValueError(f"not a {FORMAT_NAME} document")
+    if document.get("version") != FORMAT_VERSION:
+        raise ValueError(
+            f"unsupported version {document.get('version')!r}; "
+            f"this build reads version {FORMAT_VERSION}"
+        )
+    try:
+        positions = np.array(document["positions"], dtype=float)
+        communication_range = float(document["communication_range"])
+        capacity = float(document["capacity"])
+        probabilities: Dict[Link, float] = {
+            (int(i), int(j)): float(p) for i, j, p in document["links"]
+        }
+    except (KeyError, TypeError) as error:
+        raise ValueError(f"malformed network document: {error}") from error
+    return WirelessNetwork(
+        positions, probabilities, communication_range, capacity=capacity
+    )
+
+
+def save_network(network: WirelessNetwork, path: Union[str, Path]) -> None:
+    """Write a network to ``path`` as JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(network_to_dict(network), indent=1))
+
+
+def load_network(path: Union[str, Path]) -> WirelessNetwork:
+    """Read a network previously written by :func:`save_network`."""
+    path = Path(path)
+    return network_from_dict(json.loads(path.read_text()))

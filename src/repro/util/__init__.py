@@ -1,0 +1,20 @@
+"""Shared utilities: validation helpers, seeded RNG management."""
+
+from repro.util.rng import RngFactory, as_rng
+from repro.util.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_probability,
+    check_type,
+)
+
+__all__ = [
+    "RngFactory",
+    "as_rng",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "check_type",
+]

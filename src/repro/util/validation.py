@@ -1,0 +1,77 @@
+"""Lightweight argument validation helpers.
+
+Every public constructor in the library validates its inputs eagerly so
+that configuration errors surface at build time, not deep inside an
+emulation run.  The helpers below raise ``ValueError``/``TypeError`` with
+messages that name the offending parameter.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any
+
+
+def check_type(name: str, value: Any, expected: type) -> Any:
+    """Raise ``TypeError`` unless ``value`` is an instance of ``expected``.
+
+    ``bool`` is rejected where an ``int`` is expected, since silently
+    treating ``True`` as ``1`` hides bugs in protocol configuration.
+    """
+    if expected is int and isinstance(value, bool):
+        raise TypeError(f"{name} must be int, got bool")
+    if not isinstance(value, expected):
+        raise TypeError(
+            f"{name} must be {expected.__name__}, got {type(value).__name__}"
+        )
+    return value
+
+
+def check_positive(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite number > 0."""
+    if not _is_finite_number(value):
+        raise ValueError(f"{name} must be a finite number, got {value!r}")
+    if value <= 0:
+        raise ValueError(f"{name} must be > 0, got {value!r}")
+    return value
+
+
+def check_non_negative(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` is a finite number >= 0."""
+    if not _is_finite_number(value):
+        raise ValueError(f"{name} must be a finite number, got {value!r}")
+    if value < 0:
+        raise ValueError(f"{name} must be >= 0, got {value!r}")
+    return value
+
+
+def check_probability(name: str, value: float) -> float:
+    """Raise ``ValueError`` unless ``value`` lies in [0, 1]."""
+    if not _is_finite_number(value):
+        raise ValueError(f"{name} must be a finite number, got {value!r}")
+    if not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be within [0, 1], got {value!r}")
+    return value
+
+
+def check_in_range(
+    name: str, value: float, low: float, high: float, *, inclusive: bool = True
+) -> float:
+    """Raise ``ValueError`` unless ``low <= value <= high`` (or strict)."""
+    if not _is_finite_number(value):
+        raise ValueError(f"{name} must be a finite number, got {value!r}")
+    if inclusive:
+        if not low <= value <= high:
+            raise ValueError(f"{name} must be within [{low}, {high}], got {value!r}")
+    else:
+        if not low < value < high:
+            raise ValueError(f"{name} must be within ({low}, {high}), got {value!r}")
+    return value
+
+
+def _is_finite_number(value: Any) -> bool:
+    if isinstance(value, bool):
+        return False
+    if not isinstance(value, (int, float)):
+        return False
+    return math.isfinite(value)

@@ -1,0 +1,63 @@
+"""The lossy broadcast channel."""
+
+import numpy as np
+import pytest
+
+from repro.emulator.channel import LossyBroadcastChannel
+from repro.topology.random_network import chain_topology, diamond_topology
+
+
+class TestBroadcast:
+    def test_delivery_rate_matches_probability(self):
+        net = chain_topology((0.3,))
+        channel = LossyBroadcastChannel(net, rng=np.random.default_rng(0))
+        delivered = sum(
+            1 for _ in range(5000) if channel.broadcast(0, [1])
+        )
+        assert delivered / 5000 == pytest.approx(0.3, abs=0.03)
+
+    def test_broadcast_reaches_multiple_receivers_independently(self):
+        net = diamond_topology(p_su=1.0, p_sv=1.0)
+        channel = LossyBroadcastChannel(net, rng=np.random.default_rng(1))
+        assert set(channel.broadcast(0, [1, 2])) == {1, 2}
+
+    def test_unlinked_receiver_never_hears(self):
+        net = chain_topology((0.9,))
+        channel = LossyBroadcastChannel(net, rng=np.random.default_rng(2))
+        for _ in range(100):
+            assert 0 not in channel.broadcast(1, [0])
+
+    def test_counters(self):
+        net = chain_topology((1.0,))
+        channel = LossyBroadcastChannel(net, rng=np.random.default_rng(3))
+        channel.broadcast(0, [1])
+        channel.broadcast(0, [1])
+        assert channel.transmissions == 2
+        assert channel.deliveries == 2
+
+    def test_empty_receiver_list(self):
+        net = chain_topology((0.9,))
+        channel = LossyBroadcastChannel(net, rng=np.random.default_rng(4))
+        assert channel.broadcast(0, []) == ()
+        assert channel.transmissions == 1
+
+
+class TestUnicast:
+    def test_success_rate(self):
+        net = chain_topology((0.7,))
+        channel = LossyBroadcastChannel(net, rng=np.random.default_rng(5))
+        successes = sum(channel.unicast(0, 1) for _ in range(5000))
+        assert successes / 5000 == pytest.approx(0.7, abs=0.03)
+
+    def test_dead_link_always_fails(self):
+        net = chain_topology((0.9,))
+        channel = LossyBroadcastChannel(net, rng=np.random.default_rng(6))
+        assert not channel.unicast(1, 0)
+
+    def test_determinism_with_seeded_rng(self):
+        net = chain_topology((0.5,))
+        a = LossyBroadcastChannel(net, rng=np.random.default_rng(7))
+        b = LossyBroadcastChannel(net, rng=np.random.default_rng(7))
+        outcomes_a = [a.unicast(0, 1) for _ in range(50)]
+        outcomes_b = [b.unicast(0, 1) for _ in range(50)]
+        assert outcomes_a == outcomes_b

@@ -1,0 +1,109 @@
+"""The command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_all_commands_registered(self):
+        parser = build_parser()
+        for command in (
+            ["fig1"],
+            ["fig2"],
+            ["fig3"],
+            ["fig4"],
+            ["coding-speed"],
+            ["convergence"],
+            ["topology", "out.json"],
+            ["session", "omnc", "0", "1"],
+        ):
+            args = parser.parse_args(command)
+            assert callable(args.func)
+
+    def test_fig2_options(self):
+        args = build_parser().parse_args(["fig2", "--quality", "high", "--sessions", "3"])
+        assert args.quality == "high"
+        assert args.sessions == 3
+
+    def test_session_protocol_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["session", "teleport", "0", "1"])
+
+
+class TestCommands:
+    def test_topology_generation(self, tmp_path, capsys):
+        path = tmp_path / "net.json"
+        code = main(["topology", str(path), "--nodes", "30", "--seed", "5"])
+        assert code == 0
+        assert path.exists()
+        assert "30-node network" in capsys.readouterr().out
+
+    def test_session_on_saved_topology(self, tmp_path, capsys):
+        path = tmp_path / "net.json"
+        main(["topology", str(path), "--nodes", "50", "--seed", "5"])
+        # Find a feasible pair on the saved topology first.
+        from repro.topology.serialization import load_network
+        from repro.routing.node_selection import NodeSelectionError, select_forwarders
+
+        network = load_network(path)
+        pair = None
+        for s in range(network.node_count):
+            for t in range(network.node_count - 1, -1, -1):
+                if s == t:
+                    continue
+                try:
+                    select_forwarders(network, s, t)
+                    pair = (s, t)
+                    break
+                except NodeSelectionError:
+                    continue
+            if pair:
+                break
+        assert pair is not None
+        code = main([
+            "session", "omnc", str(pair[0]), str(pair[1]),
+            "--topology", str(path),
+            "--seconds", "40", "--generations", "1",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "throughput" in out
+
+    def test_etx_session_random_topology(self, capsys):
+        # ETX on a random topology; endpoints chosen to be connected on
+        # the default seed (falls back cleanly if planning fails).
+        from repro.topology.random_network import random_network
+        from repro.topology.phy import lossy_phy
+        from repro.util.rng import RngFactory
+        from repro.protocols.etx_routing import plan_etx_route
+        from repro.routing.node_selection import NodeSelectionError
+
+        rng = RngFactory(2008)
+        network = random_network(
+            60, phy=lossy_phy(rng=rng.derive("phy")), rng=rng.derive("topology")
+        )
+        pair = None
+        for s in range(network.node_count):
+            for t in range(network.node_count):
+                if s == t:
+                    continue
+                try:
+                    plan_etx_route(network, s, t)
+                    pair = (s, t)
+                    break
+                except NodeSelectionError:
+                    continue
+            if pair:
+                break
+        assert pair is not None
+        code = main([
+            "session", "etx", str(pair[0]), str(pair[1]),
+            "--nodes", "60", "--seconds", "30", "--seed", "2008",
+        ])
+        assert code == 0
+        assert "packets" in capsys.readouterr().out

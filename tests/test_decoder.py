@@ -1,0 +1,170 @@
+"""Progressive Gauss-Jordan decoding and the block-decode baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import matrix as gfm
+from repro.coding.decoder import BlockDecoder, ProgressiveDecoder
+from repro.coding.encoder import SourceEncoder
+from repro.coding.generation import GenerationParams, random_generation
+from repro.coding.packet import CodedPacket
+
+
+def pipeline(blocks=6, block_size=16, seed=0):
+    rng = np.random.default_rng(seed)
+    generation = random_generation(0, GenerationParams(blocks, block_size), rng)
+    encoder = SourceEncoder(1, generation, rng)
+    return generation, encoder
+
+
+class TestProgressiveDecoder:
+    def test_decodes_back_to_original(self):
+        generation, encoder = pipeline()
+        decoder = ProgressiveDecoder(6, 16)
+        while not decoder.is_complete:
+            decoder.add_packet(encoder.next_packet())
+        assert np.array_equal(decoder.decode(), generation.matrix)
+
+    def test_decode_generation_wrapper(self):
+        generation, encoder = pipeline(seed=4)
+        decoder = ProgressiveDecoder(6, 16)
+        while not decoder.is_complete:
+            decoder.add_packet(encoder.next_packet())
+        assert decoder.decode_generation(0) == generation
+
+    def test_rank_counts_innovative_only(self):
+        _, encoder = pipeline(seed=1)
+        decoder = ProgressiveDecoder(6, 16)
+        first = encoder.next_packet()
+        assert decoder.add_packet(first)
+        duplicate = CodedPacket(
+            1, 0, first.coefficients.copy(), first.payload.copy()
+        )
+        assert not decoder.add_packet(duplicate)
+        assert decoder.rank == 1
+        assert decoder.received == 2
+        assert decoder.redundant == 1
+
+    def test_matrix_stays_in_rref_throughout(self):
+        _, encoder = pipeline(seed=2)
+        decoder = ProgressiveDecoder(6, 16)
+        for _ in range(12):
+            decoder.add_packet(encoder.next_packet())
+            coeffs = decoder.coefficient_matrix()
+            if coeffs.shape[0]:
+                assert gfm.is_rref(coeffs)
+
+    def test_decode_before_complete_raises(self):
+        decoder = ProgressiveDecoder(4, 8)
+        with pytest.raises(RuntimeError, match="not decodable"):
+            decoder.decode()
+
+    def test_coefficient_only_mode_tracks_rank(self):
+        decoder = ProgressiveDecoder(3)
+        assert decoder.add_row(np.array([1, 0, 0], dtype=np.uint8))
+        assert decoder.add_row(np.array([0, 2, 0], dtype=np.uint8))
+        assert not decoder.add_row(np.array([1, 2, 0], dtype=np.uint8))
+        assert decoder.rank == 2
+
+    def test_coefficient_only_decode_raises(self):
+        decoder = ProgressiveDecoder(2)
+        decoder.add_row(np.array([1, 0], dtype=np.uint8))
+        decoder.add_row(np.array([0, 1], dtype=np.uint8))
+        with pytest.raises(RuntimeError, match="no payloads"):
+            decoder.decode()
+
+    def test_extra_packets_after_complete_are_ignored(self):
+        generation, encoder = pipeline(seed=3)
+        decoder = ProgressiveDecoder(6, 16)
+        while not decoder.is_complete:
+            decoder.add_packet(encoder.next_packet())
+        assert not decoder.add_packet(encoder.next_packet())
+        assert np.array_equal(decoder.decode(), generation.matrix)
+
+    def test_size_mismatch_rejected(self):
+        decoder = ProgressiveDecoder(4, 8)
+        rng = np.random.default_rng(0)
+        wrong_n = CodedPacket(1, 0, rng.integers(1, 256, 3, dtype=np.uint8),
+                              rng.integers(0, 256, 8, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            decoder.add_packet(wrong_n)
+        wrong_m = CodedPacket(1, 0, rng.integers(1, 256, 4, dtype=np.uint8),
+                              rng.integers(0, 256, 7, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            decoder.add_packet(wrong_m)
+
+    def test_payload_expected_but_missing(self):
+        decoder = ProgressiveDecoder(4, 8)
+        packet = CodedPacket(1, 0, np.ones(4, dtype=np.uint8))
+        with pytest.raises(ValueError, match="payloads"):
+            decoder.add_packet(packet)
+
+    @given(st.integers(min_value=2, max_value=10))
+    @settings(max_examples=10, deadline=None)
+    def test_exactly_n_innovative_needed(self, blocks):
+        _, encoder = pipeline(blocks=blocks, block_size=4, seed=blocks)
+        decoder = ProgressiveDecoder(blocks, 4)
+        innovative = 0
+        while not decoder.is_complete:
+            if decoder.add_packet(encoder.next_packet()):
+                innovative += 1
+        assert innovative == blocks
+
+
+class TestLossyPathDecoding:
+    def test_decoding_through_random_erasures(self):
+        # Simulate a lossy link: drop ~40% of packets; the decoder must
+        # still finish — reliability without retransmission (Sec. 3.1).
+        generation, encoder = pipeline(blocks=8, block_size=8, seed=5)
+        rng = np.random.default_rng(99)
+        decoder = ProgressiveDecoder(8, 8)
+        attempts = 0
+        while not decoder.is_complete:
+            attempts += 1
+            packet = encoder.next_packet()
+            if rng.random() < 0.4:
+                continue  # erased in flight
+            decoder.add_packet(packet)
+        assert np.array_equal(decoder.decode(), generation.matrix)
+        assert attempts >= 8
+
+
+class TestBlockDecoder:
+    def test_block_decode_matches_progressive(self):
+        generation, encoder = pipeline(seed=6)
+        block = BlockDecoder(6, 16)
+        assert block.try_decode() is None
+        for _ in range(6):
+            block.add_packet(encoder.next_packet())
+        recovered = block.try_decode()
+        assert recovered is not None
+        assert np.array_equal(recovered, generation.matrix)
+
+    def test_block_decoder_with_redundant_packets(self):
+        generation, encoder = pipeline(seed=7)
+        block = BlockDecoder(6, 16)
+        first = encoder.next_packet()
+        block.add_packet(first)
+        block.add_packet(first)  # duplicate
+        for _ in range(6):
+            block.add_packet(encoder.next_packet())
+        recovered = block.try_decode()
+        assert np.array_equal(recovered, generation.matrix)
+
+    def test_block_decoder_rejects_mismatched(self):
+        block = BlockDecoder(4, 8)
+        rng = np.random.default_rng(0)
+        packet = CodedPacket(1, 0, rng.integers(1, 256, 3, dtype=np.uint8),
+                             rng.integers(0, 256, 8, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            block.add_packet(packet)
+
+    def test_invalid_constructor(self):
+        with pytest.raises(ValueError):
+            BlockDecoder(0, 8)
+        with pytest.raises(ValueError):
+            ProgressiveDecoder(4, 0)
+        with pytest.raises(ValueError):
+            ProgressiveDecoder(0)

@@ -1,0 +1,93 @@
+"""Link-quality dynamics and re-planning cost."""
+
+import numpy as np
+import pytest
+
+from repro.topology.dynamics import (
+    perturb_link_qualities,
+    quality_drift,
+    replan_cost,
+)
+from repro.topology.random_network import diamond_topology, random_network
+from repro.util.rng import RngFactory
+
+
+class TestPerturbation:
+    def test_zero_sigma_is_identity(self):
+        net = random_network(30, rng=RngFactory(1).derive("t"))
+        same = perturb_link_qualities(net, sigma=0.0)
+        assert sorted(same.links()) == sorted(net.links())
+
+    def test_geometry_preserved(self):
+        net = random_network(30, rng=RngFactory(2).derive("t"))
+        drifted = perturb_link_qualities(net, sigma=0.5, rng=np.random.default_rng(0))
+        assert np.array_equal(drifted.positions, net.positions)
+        assert {(i, j) for i, j, _ in drifted.links()} == {
+            (i, j) for i, j, _ in net.links()
+        }
+
+    def test_probabilities_stay_in_bounds(self):
+        net = random_network(30, rng=RngFactory(3).derive("t"))
+        drifted = perturb_link_qualities(net, sigma=3.0, rng=np.random.default_rng(1))
+        for _, _, p in drifted.links():
+            assert 0.02 <= p <= 0.995
+
+    def test_larger_sigma_larger_drift(self):
+        net = random_network(40, rng=RngFactory(4).derive("t"))
+        small = perturb_link_qualities(net, sigma=0.1, rng=np.random.default_rng(2))
+        large = perturb_link_qualities(net, sigma=1.0, rng=np.random.default_rng(2))
+        assert quality_drift(net, large) > quality_drift(net, small)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            perturb_link_qualities(diamond_topology(), sigma=-0.1)
+
+
+class TestDrift:
+    def test_self_drift_zero(self):
+        net = diamond_topology()
+        assert quality_drift(net, net) == 0.0
+
+    def test_mismatched_link_sets_rejected(self):
+        with pytest.raises(ValueError, match="different link sets"):
+            quality_drift(diamond_topology(), diamond_topology(p_st=0.1))
+
+
+class TestReplanCost:
+    def test_cost_components_positive(self):
+        net = random_network(50, rng=RngFactory(5).derive("t"))
+        # Find a plannable pair.
+        from repro.routing.node_selection import NodeSelectionError, select_forwarders
+
+        pair = None
+        for s in range(net.node_count):
+            for t in range(net.node_count - 1, -1, -1):
+                if s == t:
+                    continue
+                try:
+                    select_forwarders(net, s, t)
+                    pair = (s, t)
+                    break
+                except NodeSelectionError:
+                    continue
+            if pair:
+                break
+        assert pair is not None
+        cost = replan_cost(net, *pair)
+        assert cost.flood_transmissions > 0
+        assert cost.rate_control_messages > 0
+        assert cost.rate_control_iterations > 0
+        assert cost.channel_seconds > 0
+
+    def test_invalid_packet_size(self):
+        net = diamond_topology()
+        with pytest.raises(ValueError):
+            replan_cost(net, 0, 3, control_packet_bytes=0)
+
+    def test_overhead_amortizes_over_long_sessions(self):
+        # Paper Sec. 4: re-initiation overhead is acceptable "for long
+        # lived unicast sessions" — the control airtime must be small
+        # next to an 800 s session.
+        net = diamond_topology(capacity=2e4)
+        cost = replan_cost(net, 0, 3)
+        assert cost.channel_seconds < 0.1 * 800.0

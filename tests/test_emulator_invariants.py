@@ -1,0 +1,119 @@
+"""Cross-cutting emulator invariants (conservation-law style checks)."""
+
+import pytest
+
+from repro.emulator import SessionConfig, run_coded_session, run_unicast_session
+from repro.protocols import plan_etx_route, plan_more, plan_omnc
+from repro.topology import diamond_topology, random_network
+from repro.util import RngFactory
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    rng = RngFactory(3)
+    return rng, random_network(100, rng=rng.derive("topo"))
+
+
+def _coded_result(mesh, planner, label, fidelity="flow"):
+    rng, network = mesh
+    plan = planner(network, 94, 45)
+    config = SessionConfig(
+        max_seconds=120.0, target_generations=3, coding_fidelity=fidelity
+    )
+    return (
+        run_coded_session(
+            network, plan, config=config,
+            rng=rng.spawn(f"{label}-{fidelity}"), protocol_label=label,
+        ),
+        plan,
+        network,
+        config,
+    )
+
+
+class TestCodedInvariants:
+    @pytest.mark.parametrize("fidelity", ["flow", "exact"])
+    def test_destination_never_transmits(self, mesh, fidelity):
+        result, plan, _, _ = _coded_result(mesh, plan_omnc, "omnc", fidelity)
+        assert result.transmissions.get(plan.forwarders.destination, 0) == 0
+
+    def test_delivered_links_are_real_links(self, mesh):
+        result, _, network, _ = _coded_result(mesh, plan_omnc, "omnc")
+        for i, j in result.delivered_links:
+            assert network.has_link(i, j), (i, j)
+
+    def test_ack_times_strictly_increasing(self, mesh):
+        result, _, _, _ = _coded_result(mesh, plan_omnc, "omnc")
+        assert list(result.ack_times) == sorted(result.ack_times)
+        assert len(set(result.ack_times)) == len(result.ack_times)
+
+    def test_duration_bounds_ack_times(self, mesh):
+        result, _, _, _ = _coded_result(mesh, plan_omnc, "omnc")
+        assert all(0 < t <= result.duration for t in result.ack_times)
+
+    def test_packets_delivered_matches_generations(self, mesh):
+        result, _, _, config = _coded_result(mesh, plan_omnc, "omnc")
+        assert result.packets_delivered == (
+            result.generations_decoded * config.blocks
+        )
+
+    def test_participants_cover_transmitters(self, mesh):
+        result, _, _, _ = _coded_result(mesh, plan_more, "more")
+        transmitters = {n for n, tx in result.transmissions.items() if tx > 0}
+        assert transmitters <= set(result.participants)
+
+    def test_queue_averages_nonnegative(self, mesh):
+        result, _, _, _ = _coded_result(mesh, plan_more, "more")
+        assert all(q >= 0 for q in result.average_queues.values())
+
+    def test_more_and_omnc_use_same_selection(self, mesh):
+        _, network = mesh
+        omnc_plan = plan_omnc(network, 94, 45)
+        more_plan = plan_more(network, 94, 45)
+        assert omnc_plan.forwarders.nodes == more_plan.forwarders.nodes
+
+
+class TestUnicastInvariants:
+    def test_transmissions_at_least_deliveries_per_hop(self, mesh):
+        rng, network = mesh
+        plan = plan_etx_route(network, 94, 45)
+        config = SessionConfig(max_seconds=120.0)
+        result = run_unicast_session(
+            network, plan, config=config, rng=rng.spawn("etx-inv")
+        )
+        # Lossy links: each hop transmits at least as often as it delivers.
+        for index, node in enumerate(plan.path[:-1]):
+            delivered_out = sum(
+                1 for (i, j) in result.delivered_links if i == node
+            )
+            assert result.transmissions[node] >= delivered_out
+
+    def test_delivered_count_bounded_by_source_output(self, mesh):
+        rng, network = mesh
+        plan = plan_etx_route(network, 94, 45)
+        result = run_unicast_session(
+            network, plan, config=SessionConfig(max_seconds=120.0),
+            rng=rng.spawn("etx-inv2"),
+        )
+        assert result.packets_delivered <= result.transmissions[plan.source]
+
+
+class TestFidelityAgreement:
+    def test_flow_and_exact_agree_on_diamond(self):
+        rng = RngFactory(21)
+        network = diamond_topology(capacity=2e4)
+        plan = plan_omnc(network, 0, 3)
+        results = {}
+        for fidelity in ("flow", "exact"):
+            config = SessionConfig(
+                blocks=16, block_size=256,
+                max_seconds=200.0, target_generations=3,
+                coding_fidelity=fidelity,
+            )
+            results[fidelity] = run_coded_session(
+                network, plan, config=config, rng=rng.spawn(fidelity)
+            )
+        flow = results["flow"].throughput_bps
+        exact = results["exact"].throughput_bps
+        assert flow > 0 and exact > 0
+        assert 0.5 <= exact / flow <= 2.0

@@ -1,0 +1,152 @@
+"""Source encoding and relay re-encoding."""
+
+import numpy as np
+import pytest
+
+from repro.coding import matrix as gfm
+from repro.coding.encoder import RelayReEncoder, SourceEncoder
+from repro.coding.generation import GenerationParams, random_generation
+from repro.coding.gf256 import GF256
+from repro.coding.packet import CodedPacket
+
+
+def make_source(blocks=6, block_size=16, seed=0, payload=True):
+    rng = np.random.default_rng(seed)
+    generation = random_generation(0, GenerationParams(blocks, block_size), rng)
+    return SourceEncoder(1, generation, rng, payload=payload), generation
+
+
+class TestSourceEncoder:
+    def test_packet_payload_is_linear_combination(self):
+        encoder, generation = make_source()
+        packet = encoder.next_packet()
+        expected = GF256.matmul(
+            packet.coefficients[None, :], generation.matrix
+        )[0]
+        assert np.array_equal(packet.payload, expected)
+
+    def test_packets_never_zero_vector(self):
+        encoder, _ = make_source()
+        for _ in range(50):
+            assert not encoder.next_packet().is_zero()
+
+    def test_emitted_counter(self):
+        encoder, _ = make_source()
+        for _ in range(5):
+            encoder.next_packet()
+        assert encoder.emitted == 5
+
+    def test_coefficient_only_mode(self):
+        encoder, _ = make_source(payload=False)
+        packet = encoder.next_packet()
+        assert packet.payload is None
+
+    def test_n_plus_few_packets_decode(self):
+        # n + 3 random packets are full rank with overwhelming probability.
+        encoder, generation = make_source(blocks=8)
+        vectors = [encoder.next_packet().coefficients for _ in range(11)]
+        assert gfm.rank(np.stack(vectors)) == 8
+
+    def test_advance_resets_emitted(self):
+        encoder, _ = make_source()
+        encoder.next_packet()
+        new_gen = random_generation(
+            1, GenerationParams(6, 16), np.random.default_rng(9)
+        )
+        encoder.advance(new_gen)
+        assert encoder.emitted == 0
+        assert encoder.generation.generation_id == 1
+
+    def test_advance_must_be_monotonic(self):
+        encoder, generation = make_source()
+        with pytest.raises(ValueError, match="monotonically"):
+            encoder.advance(generation)
+
+
+class TestRelayReEncoder:
+    def _packet(self, vector, payload=None, generation=0):
+        return CodedPacket(
+            session_id=1,
+            generation_id=generation,
+            coefficients=np.asarray(vector, dtype=np.uint8),
+            payload=None if payload is None else np.asarray(payload, dtype=np.uint8),
+        )
+
+    def test_accepts_innovative_rejects_dependent(self):
+        relay = RelayReEncoder(1, 4, np.random.default_rng(0))
+        assert relay.accept(self._packet([1, 0, 0, 0]))
+        assert relay.accept(self._packet([0, 1, 0, 0]))
+        # Dependent: sum of the two previous vectors.
+        assert not relay.accept(self._packet([1, 1, 0, 0]))
+        assert relay.buffered == 2
+
+    def test_scaled_duplicate_is_dependent(self):
+        relay = RelayReEncoder(1, 4, np.random.default_rng(1))
+        assert relay.accept(self._packet([2, 4, 6, 8]))
+        scaled = GF256.scale_row(np.array([2, 4, 6, 8], dtype=np.uint8), 0x11)
+        assert not relay.accept(self._packet(scaled))
+
+    def test_reencoded_packet_stays_in_span(self):
+        rng = np.random.default_rng(2)
+        relay = RelayReEncoder(1, 5, rng)
+        basis = [rng.integers(0, 256, 5, dtype=np.uint8) for _ in range(3)]
+        accepted = sum(relay.accept(self._packet(v)) for v in basis)
+        out = relay.next_packet()
+        # The output vector must not increase the rank of the basis.
+        stacked = np.vstack(basis + [out.coefficients])
+        assert gfm.rank(stacked) == accepted
+
+    def test_full_relay_stops_accepting_but_keeps_encoding(self):
+        rng = np.random.default_rng(3)
+        relay = RelayReEncoder(1, 3, rng)
+        for vector in np.eye(3, dtype=np.uint8):
+            assert relay.accept(self._packet(vector))
+        assert relay.is_full
+        assert not relay.accept(self._packet(rng.integers(0, 256, 3, dtype=np.uint8)))
+        assert relay.next_packet() is not None
+
+    def test_empty_relay_cannot_encode(self):
+        relay = RelayReEncoder(1, 4, np.random.default_rng(4))
+        with pytest.raises(RuntimeError, match="no innovative"):
+            relay.next_packet()
+
+    def test_stale_generation_rejected(self):
+        relay = RelayReEncoder(1, 4, np.random.default_rng(5), generation_id=2)
+        assert not relay.accept(self._packet([1, 0, 0, 0], generation=1))
+
+    def test_newer_generation_flushes(self):
+        relay = RelayReEncoder(1, 4, np.random.default_rng(6))
+        relay.accept(self._packet([1, 0, 0, 0], generation=0))
+        assert relay.accept(self._packet([0, 1, 0, 0], generation=3))
+        assert relay.generation_id == 3
+        assert relay.buffered == 1
+
+    def test_advance_must_increase(self):
+        relay = RelayReEncoder(1, 4, np.random.default_rng(7), generation_id=5)
+        with pytest.raises(ValueError):
+            relay.advance(5)
+
+    def test_wrong_session_raises(self):
+        relay = RelayReEncoder(1, 4, np.random.default_rng(8))
+        packet = CodedPacket(2, 0, np.ones(4, dtype=np.uint8))
+        with pytest.raises(ValueError, match="session"):
+            relay.accept(packet)
+
+    def test_wrong_generation_size_raises(self):
+        relay = RelayReEncoder(1, 4, np.random.default_rng(9))
+        with pytest.raises(ValueError, match="generation size"):
+            relay.accept(self._packet([1, 0, 0]))
+
+    def test_payload_reencoding_consistency(self):
+        # Relay payloads must remain the same linear combination as the
+        # coding vector claims, relative to the original generation.
+        rng = np.random.default_rng(10)
+        params = GenerationParams(4, 12)
+        generation = random_generation(0, params, rng)
+        source = SourceEncoder(1, generation, rng)
+        relay = RelayReEncoder(1, 4, rng)
+        while not relay.is_full:
+            relay.accept(source.next_packet())
+        out = relay.next_packet()
+        expected = GF256.matmul(out.coefficients[None, :], generation.matrix)[0]
+        assert np.array_equal(out.payload, expected)

@@ -1,0 +1,146 @@
+"""Experiment harnesses: smoke-scale runs of every figure."""
+
+import pytest
+
+from repro.experiments.coding_speed import measure_codec, run_coding_speed
+from repro.experiments.common import (
+    CampaignConfig,
+    build_network,
+    pick_sessions,
+    run_campaign,
+)
+from repro.experiments.convergence_stats import run_convergence_stats
+from repro.experiments.fig1_convergence import run_fig1
+from repro.experiments.fig2_throughput import run_fig2
+from repro.experiments.fig3_queue import run_fig3
+from repro.experiments.fig4_utility import run_fig4
+from repro.coding.gf256 import GF256
+from repro.coding.gf256_baseline import GF256Baseline
+
+SMOKE = CampaignConfig(
+    node_count=80,
+    sessions=3,
+    min_hops=3,
+    max_hops=10,
+    session_seconds=60.0,
+    target_generations=2,
+    seed=17,
+)
+
+
+@pytest.fixture(scope="module")
+def smoke_campaign():
+    return run_campaign(SMOKE)
+
+
+class TestCampaign:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            CampaignConfig(node_count=2)
+        with pytest.raises(ValueError):
+            CampaignConfig(sessions=0)
+        with pytest.raises(ValueError):
+            CampaignConfig(min_hops=5, max_hops=3)
+        with pytest.raises(ValueError):
+            CampaignConfig(quality="medium")
+
+    def test_paper_scale_parameters(self):
+        config = CampaignConfig.paper_scale()
+        assert config.node_count == 300
+        assert config.sessions == 300
+        assert config.session_seconds == 800.0
+
+    def test_network_quality_regimes(self):
+        _, lossy = build_network(CampaignConfig(node_count=100, quality="lossy"))
+        _, high = build_network(CampaignConfig(node_count=100, quality="high"))
+        assert lossy.average_link_probability() < high.average_link_probability()
+
+    def test_sessions_respect_hop_bounds(self):
+        config = SMOKE
+        _, network = build_network(config)
+        for _, _, plan in pick_sessions(config, network):
+            assert config.min_hops <= plan.hop_count <= config.max_hops
+
+    def test_campaign_records_all_protocols(self, smoke_campaign):
+        assert len(smoke_campaign.records) == SMOKE.sessions
+        for record in smoke_campaign.records:
+            assert set(record.results) == {"omnc", "more", "oldmore", "etx"}
+
+    def test_gain_and_queue_accessors(self, smoke_campaign):
+        for protocol in ("omnc", "more", "oldmore"):
+            gains = smoke_campaign.gains(protocol)
+            assert len(gains) <= SMOKE.sessions
+            assert all(g >= 0 for g in gains)
+            queues = smoke_campaign.per_node_queues(protocol)
+            assert all(q >= 0 for q in queues)
+
+    def test_utility_accessor(self, smoke_campaign):
+        nodes, paths = smoke_campaign.utilities("omnc")
+        assert len(nodes) == len(paths) == SMOKE.sessions
+        assert all(0 <= u <= 1 for u in nodes)
+        assert all(0 <= u <= 1 for u in paths)
+
+
+class TestFig1:
+    def test_series_structure(self):
+        series = run_fig1()
+        assert series.iterations[0] == 1
+        assert series.settled_iteration <= len(series.iterations)
+        for values in series.rates_bps.values():
+            assert len(values) == len(series.iterations)
+
+    def test_recovered_close_to_lp(self):
+        series = run_fig1()
+        assert series.recovered_throughput_bps == pytest.approx(
+            series.lp_throughput_bps, rel=0.15
+        )
+
+    def test_converges_within_paper_ballpark(self):
+        # Paper: convergence within a few tens of iterations; average 91
+        # over the campaign.  The sample topology must settle within the
+        # iteration cap.
+        series = run_fig1()
+        assert len(series.iterations) <= 400
+
+
+class TestFigures:
+    def test_fig2_smoke(self):
+        result = run_fig2("lossy", SMOKE)
+        for protocol in ("omnc", "more", "oldmore"):
+            assert result.distributions[protocol].count > 0
+            assert result.mean_gain(protocol) >= 0
+
+    def test_fig3_smoke(self):
+        result = run_fig3(SMOKE)
+        assert result.mean_queue("omnc") >= 0
+        assert result.mean_queue("more") >= 0
+
+    def test_fig4_smoke(self):
+        result = run_fig4(SMOKE)
+        for protocol in ("omnc", "more", "oldmore"):
+            assert 0 <= result.node_utility[protocol].mean <= 1
+            assert 0 <= result.path_utility[protocol].mean <= 1
+
+    def test_fig4_oldmore_prunes(self):
+        result = run_fig4(SMOKE)
+        assert (
+            result.node_utility["oldmore"].mean
+            <= result.node_utility["omnc"].mean + 1e-9
+        )
+
+    def test_convergence_stats_smoke(self):
+        stats = run_convergence_stats(SMOKE)
+        assert stats.iterations.count > 0
+        assert stats.lp_ratio.mean == pytest.approx(1.0, abs=0.35)
+
+
+class TestCodingSpeed:
+    def test_accelerated_beats_baseline(self):
+        accelerated = measure_codec(GF256, 16, 128)
+        baseline = measure_codec(GF256Baseline, 16, 128)
+        assert accelerated > baseline * 3  # the paper's lower bound
+
+    def test_run_coding_speed_points(self):
+        points = run_coding_speed(shapes=[(8, 64)])
+        assert len(points) == 1
+        assert points[0].speedup > 1.0

@@ -1,0 +1,111 @@
+"""Generations: framing, padding, splitting, identity."""
+
+import numpy as np
+import pytest
+
+from repro.coding.generation import (
+    Generation,
+    GenerationParams,
+    random_generation,
+    split_into_generations,
+)
+
+
+class TestGenerationParams:
+    def test_paper_defaults(self):
+        params = GenerationParams()
+        assert params.blocks == 40
+        assert params.block_size == 1024
+        assert params.generation_bytes == 40 * 1024
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            GenerationParams(blocks=0)
+        with pytest.raises(ValueError):
+            GenerationParams(block_size=-1)
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeError):
+            GenerationParams(blocks=True)
+
+
+class TestGeneration:
+    def test_matrix_is_read_only(self):
+        gen = random_generation(0, GenerationParams(4, 8), np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            gen.matrix[0, 0] = 1
+
+    def test_constructor_copies_input(self):
+        data = np.ones((2, 3), dtype=np.uint8)
+        gen = Generation(0, data)
+        data[0, 0] = 99
+        assert gen.matrix[0, 0] == 1
+
+    def test_round_trip_bytes(self):
+        params = GenerationParams(3, 16)
+        payload = bytes(range(48))
+        gen = Generation.from_bytes(5, payload, params)
+        assert gen.to_bytes() == payload
+        assert gen.generation_id == 5
+
+    def test_from_bytes_pads_short_data(self):
+        params = GenerationParams(2, 8)
+        gen = Generation.from_bytes(0, b"abc", params)
+        assert gen.to_bytes() == b"abc" + b"\x00" * 13
+
+    def test_from_bytes_rejects_oversize(self):
+        params = GenerationParams(1, 4)
+        with pytest.raises(ValueError, match="exceeds"):
+            Generation.from_bytes(0, b"12345", params)
+
+    def test_negative_id_rejected(self):
+        with pytest.raises(ValueError):
+            Generation(-1, np.zeros((1, 1), dtype=np.uint8))
+
+    def test_empty_matrix_rejected(self):
+        with pytest.raises(ValueError):
+            Generation(0, np.zeros((0, 4), dtype=np.uint8))
+
+    def test_equality(self):
+        m = np.arange(6, dtype=np.uint8).reshape(2, 3)
+        assert Generation(1, m) == Generation(1, m)
+        assert Generation(1, m) != Generation(2, m)
+
+    def test_params_recovered_from_matrix(self):
+        gen = Generation(0, np.zeros((7, 11), dtype=np.uint8))
+        assert gen.params == GenerationParams(blocks=7, block_size=11)
+
+
+class TestSplit:
+    def test_split_multiple_generations(self):
+        params = GenerationParams(2, 4)
+        data = bytes(range(20))  # 2.5 generations of 8 bytes
+        generations = split_into_generations(data, params)
+        assert len(generations) == 3
+        assert [g.generation_id for g in generations] == [0, 1, 2]
+        rejoined = b"".join(g.to_bytes() for g in generations)
+        assert rejoined[: len(data)] == data
+
+    def test_split_empty_data_gives_one_padded_generation(self):
+        generations = split_into_generations(b"", GenerationParams(1, 4))
+        assert len(generations) == 1
+        assert generations[0].to_bytes() == b"\x00" * 4
+
+    def test_split_start_id(self):
+        generations = split_into_generations(
+            b"x" * 8, GenerationParams(1, 4), start_id=10
+        )
+        assert [g.generation_id for g in generations] == [10, 11]
+
+    def test_split_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            split_into_generations(b"x", GenerationParams(1, 4), start_id=-1)
+
+
+class TestRandomGeneration:
+    def test_shape_and_determinism(self):
+        params = GenerationParams(4, 16)
+        g1 = random_generation(0, params, np.random.default_rng(42))
+        g2 = random_generation(0, params, np.random.default_rng(42))
+        assert g1 == g2
+        assert g1.matrix.shape == (4, 16)

@@ -1,0 +1,119 @@
+"""Deployment geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.topology.geometry import (
+    DeploymentArea,
+    Point,
+    area_for_density,
+    grid_positions,
+    pairwise_distances,
+    positions_array,
+)
+
+coord_st = st.floats(min_value=-1e3, max_value=1e3, allow_nan=False)
+
+
+class TestPoint:
+    def test_distance_is_euclidean(self):
+        assert Point(0, 0).distance_to(Point(3, 4)) == pytest.approx(5.0)
+
+    @given(coord_st, coord_st, coord_st, coord_st)
+    def test_distance_symmetry(self, x1, y1, x2, y2):
+        a, b = Point(x1, y1), Point(x2, y2)
+        assert a.distance_to(b) == pytest.approx(b.distance_to(a))
+
+    @given(coord_st, coord_st)
+    def test_distance_to_self_is_zero(self, x, y):
+        p = Point(x, y)
+        assert p.distance_to(p) == 0.0
+
+    def test_as_array(self):
+        assert np.array_equal(Point(1.5, -2.0).as_array(), [1.5, -2.0])
+
+
+class TestPairwiseDistances:
+    def test_matches_point_distances(self):
+        points = [Point(0, 0), Point(1, 0), Point(0, 2)]
+        matrix = pairwise_distances(positions_array(points))
+        for i, a in enumerate(points):
+            for j, b in enumerate(points):
+                assert matrix[i, j] == pytest.approx(a.distance_to(b))
+
+    def test_diagonal_zero_and_symmetric(self):
+        rng = np.random.default_rng(0)
+        positions = rng.uniform(0, 10, (20, 2))
+        matrix = pairwise_distances(positions)
+        assert np.allclose(np.diag(matrix), 0.0)
+        assert np.allclose(matrix, matrix.T)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            pairwise_distances(np.zeros((3, 3)))
+
+    def test_empty_positions(self):
+        assert positions_array([]).shape == (0, 2)
+
+
+class TestDeploymentArea:
+    def test_contains(self):
+        area = DeploymentArea(10, 5)
+        assert area.contains(Point(0, 0))
+        assert area.contains(Point(10, 5))
+        assert not area.contains(Point(10.1, 1))
+
+    def test_sample_points_inside(self):
+        area = DeploymentArea(7, 3)
+        points = area.sample_points(200, np.random.default_rng(1))
+        assert points.shape == (200, 2)
+        assert np.all(points[:, 0] >= 0) and np.all(points[:, 0] <= 7)
+        assert np.all(points[:, 1] >= 0) and np.all(points[:, 1] <= 3)
+
+    def test_negative_dimensions_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentArea(-1, 5)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ValueError):
+            DeploymentArea(1, 1).sample_points(-1, np.random.default_rng(0))
+
+    def test_area(self):
+        assert DeploymentArea(4, 2.5).area == pytest.approx(10.0)
+
+
+class TestDensitySizing:
+    def test_expected_neighbor_count_matches_request(self):
+        # Empirically verify the sizing formula: deploy many nodes and
+        # count in-range neighbors.
+        node_count, target, radius = 400, 5.0, 10.0
+        area = area_for_density(node_count, target, radius)
+        rng = np.random.default_rng(7)
+        positions = area.sample_points(node_count, rng)
+        distances = pairwise_distances(positions)
+        neighbor_counts = (distances <= radius).sum(axis=1) - 1
+        # Border effects bias low; allow a generous band around target.
+        assert target * 0.5 <= neighbor_counts.mean() <= target * 1.3
+
+    def test_density_formula(self):
+        area = area_for_density(300, 5.0, 100.0)
+        expected_area = 300 * math.pi * 100.0**2 / 6.0
+        assert area.area == pytest.approx(expected_area)
+
+    def test_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            area_for_density(0, 5, 10)
+        with pytest.raises(ValueError):
+            area_for_density(10, -1, 10)
+
+
+class TestGrid:
+    def test_grid_shape_and_spacing(self):
+        grid = grid_positions(2, 3, 1.5)
+        assert grid.shape == (6, 2)
+        assert np.array_equal(grid[1] - grid[0], [1.5, 0.0])
+        assert np.array_equal(grid[3] - grid[0], [0.0, 1.5])

@@ -1,0 +1,179 @@
+"""Field-axiom and operation tests for the accelerated GF(2^8) engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.gf256 import (
+    FIELD_SIZE,
+    GENERATOR,
+    GF256,
+    REDUCTION_POLY,
+    exp_table,
+    log_table,
+)
+
+bytes_st = st.integers(min_value=0, max_value=255)
+nonzero_st = st.integers(min_value=1, max_value=255)
+
+
+class TestTables:
+    def test_exp_table_is_doubled_period(self):
+        table = exp_table()
+        assert table.shape == (510,)
+        assert np.array_equal(table[:255], table[255:])
+
+    def test_exp_log_are_inverse_bijections(self):
+        exp, log = exp_table(), log_table()
+        for value in range(1, FIELD_SIZE):
+            assert exp[log[value]] == value
+
+    def test_generator_is_primitive(self):
+        # Powers of the generator must enumerate all 255 nonzero elements.
+        seen = {GF256.power(GENERATOR, k) for k in range(255)}
+        assert seen == set(range(1, 256))
+
+    def test_reduction_poly_is_rijndael(self):
+        assert REDUCTION_POLY == 0x11B
+
+
+class TestAxioms:
+    @given(bytes_st, bytes_st)
+    def test_addition_is_xor_and_commutative(self, a, b):
+        assert int(GF256.add(a, b)) == a ^ b
+        assert int(GF256.add(a, b)) == int(GF256.add(b, a))
+
+    @given(bytes_st)
+    def test_addition_self_inverse(self, a):
+        assert int(GF256.add(a, a)) == 0
+
+    @given(bytes_st, bytes_st)
+    def test_multiplication_commutative(self, a, b):
+        assert int(GF256.multiply(a, b)) == int(GF256.multiply(b, a))
+
+    @given(bytes_st, bytes_st, bytes_st)
+    def test_multiplication_associative(self, a, b, c):
+        left = GF256.multiply(GF256.multiply(a, b), c)
+        right = GF256.multiply(a, GF256.multiply(b, c))
+        assert int(left) == int(right)
+
+    @given(bytes_st, bytes_st, bytes_st)
+    def test_distributivity(self, a, b, c):
+        left = GF256.multiply(a, GF256.add(b, c))
+        right = GF256.add(GF256.multiply(a, b), GF256.multiply(a, c))
+        assert int(left) == int(right)
+
+    @given(bytes_st)
+    def test_multiplicative_identity(self, a):
+        assert int(GF256.multiply(a, 1)) == a
+
+    @given(bytes_st)
+    def test_zero_annihilates(self, a):
+        assert int(GF256.multiply(a, 0)) == 0
+
+    @given(nonzero_st)
+    def test_inverse_roundtrip(self, a):
+        inv = int(GF256.inverse(a))
+        assert int(GF256.multiply(a, inv)) == 1
+
+    @given(nonzero_st, nonzero_st)
+    def test_division_consistency(self, a, b):
+        quotient = int(GF256.divide(a, b))
+        assert int(GF256.multiply(quotient, b)) == a
+
+
+class TestVectorized:
+    def test_multiply_broadcasts_over_arrays(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, 500, dtype=np.uint8)
+        b = rng.integers(0, 256, 500, dtype=np.uint8)
+        products = GF256.multiply(a, b)
+        for index in range(0, 500, 37):
+            assert products[index] == int(
+                GF256.multiply(int(a[index]), int(b[index]))
+            )
+
+    def test_inverse_raises_on_zero_anywhere(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.inverse(np.array([1, 0, 3], dtype=np.uint8))
+
+    def test_divide_raises_on_zero_divisor(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256.divide(5, 0)
+
+    def test_scale_row_matches_elementwise(self):
+        rng = np.random.default_rng(2)
+        row = rng.integers(0, 256, 64, dtype=np.uint8)
+        scaled = GF256.scale_row(row, 0x53)
+        expected = GF256.multiply(row, np.full(64, 0x53, dtype=np.uint8))
+        assert np.array_equal(scaled, expected)
+
+    def test_addmul_row_in_place(self):
+        rng = np.random.default_rng(3)
+        target = rng.integers(0, 256, 32, dtype=np.uint8)
+        source = rng.integers(0, 256, 32, dtype=np.uint8)
+        original = target.copy()
+        GF256.addmul_row(target, source, 0x1D)
+        expected = GF256.add(original, GF256.scale_row(source, 0x1D))
+        assert np.array_equal(target, expected)
+
+    def test_addmul_row_zero_coefficient_is_noop(self):
+        target = np.array([1, 2, 3], dtype=np.uint8)
+        GF256.addmul_row(target, np.array([9, 9, 9], dtype=np.uint8), 0)
+        assert np.array_equal(target, [1, 2, 3])
+
+
+class TestMatmul:
+    def test_identity_matmul(self):
+        rng = np.random.default_rng(4)
+        m = rng.integers(0, 256, (5, 7), dtype=np.uint8)
+        identity = np.eye(5, dtype=np.uint8)
+        assert np.array_equal(GF256.matmul(identity, m), m)
+
+    def test_matmul_associativity(self):
+        rng = np.random.default_rng(5)
+        a = rng.integers(0, 256, (3, 4), dtype=np.uint8)
+        b = rng.integers(0, 256, (4, 5), dtype=np.uint8)
+        c = rng.integers(0, 256, (5, 2), dtype=np.uint8)
+        left = GF256.matmul(GF256.matmul(a, b), c)
+        right = GF256.matmul(a, GF256.matmul(b, c))
+        assert np.array_equal(left, right)
+
+    def test_matmul_shape_mismatch(self):
+        a = np.zeros((2, 3), dtype=np.uint8)
+        b = np.zeros((4, 2), dtype=np.uint8)
+        with pytest.raises(ValueError):
+            GF256.matmul(a, b)
+
+    def test_matmul_requires_2d(self):
+        with pytest.raises(ValueError):
+            GF256.matmul(np.zeros(3, dtype=np.uint8), np.zeros((3, 1), dtype=np.uint8))
+
+    def test_matvec(self):
+        rng = np.random.default_rng(6)
+        a = rng.integers(0, 256, (4, 6), dtype=np.uint8)
+        v = rng.integers(0, 256, 6, dtype=np.uint8)
+        assert np.array_equal(GF256.matvec(a, v), GF256.matmul(a, v[:, None])[:, 0])
+
+    def test_matvec_requires_1d(self):
+        with pytest.raises(ValueError):
+            GF256.matvec(np.zeros((2, 2), dtype=np.uint8), np.zeros((2, 1), dtype=np.uint8))
+
+
+class TestPower:
+    def test_power_zero_exponent(self):
+        assert GF256.power(7, 0) == 1
+
+    def test_power_of_zero(self):
+        assert GF256.power(0, 5) == 0
+
+    def test_power_negative_exponent_rejected(self):
+        with pytest.raises(ValueError):
+            GF256.power(3, -1)
+
+    @given(nonzero_st)
+    @settings(max_examples=30)
+    def test_fermat_little_theorem(self, a):
+        # a^255 = 1 for every nonzero element (multiplicative group order).
+        assert GF256.power(a, 255) == 1

@@ -1,0 +1,83 @@
+"""The baseline codec must agree exactly with the accelerated engine."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.gf256 import GF256
+from repro.coding.gf256_baseline import GF256Baseline
+
+bytes_st = st.integers(min_value=0, max_value=255)
+
+
+class TestAgreement:
+    @given(bytes_st, bytes_st)
+    def test_multiply_agrees(self, a, b):
+        assert int(GF256Baseline.multiply(a, b)) == int(GF256.multiply(a, b))
+
+    @given(bytes_st, bytes_st)
+    def test_add_agrees(self, a, b):
+        assert int(GF256Baseline.add(a, b)) == int(GF256.add(a, b))
+
+    @given(st.integers(min_value=1, max_value=255))
+    def test_inverse_agrees(self, a):
+        assert int(GF256Baseline.inverse(a)) == int(GF256.inverse(a))
+
+    def test_matmul_agrees_on_random_matrices(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 256, (6, 8), dtype=np.uint8)
+        b = rng.integers(0, 256, (8, 10), dtype=np.uint8)
+        assert np.array_equal(GF256Baseline.matmul(a, b), GF256.matmul(a, b))
+
+    def test_matvec_agrees(self):
+        rng = np.random.default_rng(1)
+        a = rng.integers(0, 256, (5, 7), dtype=np.uint8)
+        v = rng.integers(0, 256, 7, dtype=np.uint8)
+        assert np.array_equal(GF256Baseline.matvec(a, v), GF256.matvec(a, v))
+
+    def test_scale_row_agrees(self):
+        rng = np.random.default_rng(2)
+        row = rng.integers(0, 256, 40, dtype=np.uint8)
+        assert np.array_equal(
+            GF256Baseline.scale_row(row, 0xA7), GF256.scale_row(row, 0xA7)
+        )
+
+    def test_addmul_row_agrees(self):
+        rng = np.random.default_rng(3)
+        target_a = rng.integers(0, 256, 24, dtype=np.uint8)
+        target_b = target_a.copy()
+        source = rng.integers(0, 256, 24, dtype=np.uint8)
+        GF256.addmul_row(target_a, source, 0x2F)
+        GF256Baseline.addmul_row(target_b, source, 0x2F)
+        assert np.array_equal(target_a, target_b)
+
+    @given(bytes_st, st.integers(min_value=0, max_value=10))
+    @settings(max_examples=30)
+    def test_power_agrees(self, a, exponent):
+        assert GF256Baseline.power(a, exponent) == GF256.power(a, exponent)
+
+
+class TestBaselineBehaviour:
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            GF256Baseline.inverse(0)
+
+    def test_power_negative_rejected(self):
+        with pytest.raises(ValueError):
+            GF256Baseline.power(2, -3)
+
+    def test_matmul_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            GF256Baseline.matmul(
+                np.zeros((2, 3), dtype=np.uint8), np.zeros((2, 3), dtype=np.uint8)
+            )
+
+    def test_name_distinguishes_engines(self):
+        assert GF256Baseline.name == "baseline"
+        assert GF256.name == "accelerated"
+
+    def test_addmul_zero_coefficient_noop(self):
+        target = np.array([4, 5], dtype=np.uint8)
+        GF256Baseline.addmul_row(target, np.array([1, 1], dtype=np.uint8), 0)
+        assert np.array_equal(target, [4, 5])

@@ -1,0 +1,144 @@
+"""GF(2^8) matrix algebra: RREF, rank, inversion, solving."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import matrix as gfm
+from repro.coding.gf256 import GF256
+
+
+def random_matrix(rows, cols, seed):
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, 256, (rows, cols), dtype=np.uint8)
+
+
+class TestRref:
+    def test_rref_of_identity_is_identity(self):
+        identity = gfm.identity(4)
+        reduced, pivots = gfm.rref(identity)
+        assert np.array_equal(reduced, identity)
+        assert pivots == [0, 1, 2, 3]
+
+    def test_rref_is_idempotent(self):
+        m = random_matrix(5, 8, 0)
+        once, _ = gfm.rref(m)
+        twice, _ = gfm.rref(once)
+        assert np.array_equal(once, twice)
+
+    def test_rref_output_satisfies_is_rref(self):
+        for seed in range(5):
+            m = random_matrix(4, 6, seed)
+            reduced, _ = gfm.rref(m)
+            assert gfm.is_rref(reduced)
+
+    def test_rref_does_not_modify_input(self):
+        m = random_matrix(3, 3, 1)
+        copy = m.copy()
+        gfm.rref(m)
+        assert np.array_equal(m, copy)
+
+    def test_rref_zero_matrix(self):
+        zero = np.zeros((3, 4), dtype=np.uint8)
+        reduced, pivots = gfm.rref(zero)
+        assert np.array_equal(reduced, zero)
+        assert pivots == []
+
+    def test_rref_rejects_1d(self):
+        with pytest.raises(ValueError):
+            gfm.rref(np.zeros(3, dtype=np.uint8))
+
+
+class TestRank:
+    def test_rank_of_identity(self):
+        assert gfm.rank(gfm.identity(7)) == 7
+
+    def test_rank_of_duplicated_rows(self):
+        row = random_matrix(1, 6, 2)
+        stacked = np.vstack([row, row, row])
+        assert gfm.rank(stacked) == 1
+
+    def test_rank_invariant_under_row_scaling(self):
+        m = random_matrix(4, 4, 3)
+        scaled = m.copy()
+        scaled[0] = GF256.scale_row(scaled[0], 0x35)
+        assert gfm.rank(m) == gfm.rank(scaled)
+
+    @given(st.integers(min_value=1, max_value=6))
+    @settings(max_examples=10)
+    def test_random_square_matrices_usually_full_rank(self, n):
+        m = gfm.random_matrix(n, n, np.random.default_rng(n), full_rank=True)
+        assert gfm.is_full_rank(m)
+
+    def test_rank_bounded_by_min_dimension(self):
+        m = random_matrix(3, 9, 4)
+        assert gfm.rank(m) <= 3
+
+
+class TestInvert:
+    def test_invert_roundtrip(self):
+        for seed in range(4):
+            m = gfm.random_matrix(5, 5, np.random.default_rng(seed), full_rank=True)
+            inv = gfm.invert(m)
+            assert np.array_equal(GF256.matmul(m, inv), gfm.identity(5))
+            assert np.array_equal(GF256.matmul(inv, m), gfm.identity(5))
+
+    def test_invert_singular_raises(self):
+        singular = np.zeros((3, 3), dtype=np.uint8)
+        singular[0, 0] = 1
+        with pytest.raises(ValueError, match="singular"):
+            gfm.invert(singular)
+
+    def test_invert_non_square_raises(self):
+        with pytest.raises(ValueError, match="square"):
+            gfm.invert(np.zeros((2, 3), dtype=np.uint8))
+
+    def test_invert_identity(self):
+        assert np.array_equal(gfm.invert(gfm.identity(6)), gfm.identity(6))
+
+
+class TestSolve:
+    def test_solve_recovers_generation(self):
+        rng = np.random.default_rng(9)
+        original = rng.integers(0, 256, (6, 20), dtype=np.uint8)
+        coefficients = gfm.random_matrix(6, 6, rng, full_rank=True)
+        coded = GF256.matmul(coefficients, original)
+        recovered = gfm.solve(coefficients, coded)
+        assert np.array_equal(recovered, original)
+
+    def test_solve_row_mismatch(self):
+        with pytest.raises(ValueError, match="rows"):
+            gfm.solve(
+                np.zeros((3, 3), dtype=np.uint8), np.zeros((4, 2), dtype=np.uint8)
+            )
+
+
+class TestHelpers:
+    def test_identity_negative_raises(self):
+        with pytest.raises(ValueError):
+            gfm.identity(-1)
+
+    def test_random_matrix_negative_dims(self):
+        with pytest.raises(ValueError):
+            gfm.random_matrix(-1, 2, np.random.default_rng(0))
+
+    def test_is_rref_detects_unnormalized_pivot(self):
+        m = np.array([[2, 0], [0, 1]], dtype=np.uint8)
+        assert not gfm.is_rref(m)
+
+    def test_is_rref_detects_uncleared_column(self):
+        m = np.array([[1, 1], [0, 1]], dtype=np.uint8)
+        assert not gfm.is_rref(m)
+
+    def test_is_rref_detects_bad_pivot_order(self):
+        m = np.array([[0, 1, 0], [1, 0, 0]], dtype=np.uint8)
+        assert not gfm.is_rref(m)
+
+    def test_is_rref_accepts_zero_rows_at_bottom(self):
+        m = np.array([[1, 0, 5], [0, 1, 7], [0, 0, 0]], dtype=np.uint8)
+        assert gfm.is_rref(m)
+
+    def test_is_rref_rejects_zero_row_in_middle(self):
+        m = np.array([[1, 0, 5], [0, 0, 0], [0, 1, 7]], dtype=np.uint8)
+        assert not gfm.is_rref(m)

@@ -1,0 +1,76 @@
+"""Multiple-unicast extension."""
+
+import pytest
+
+from repro.optimization.multi_session import (
+    MultiSessionRateControl,
+    solve_multi_sunicast,
+)
+from repro.optimization.problem import session_graph_from_network
+from repro.optimization.rate_control import RateControlConfig
+from repro.optimization.sunicast import solve_sunicast
+from repro.topology.random_network import fig1_sample_topology
+
+
+def two_sessions():
+    net = fig1_sample_topology()
+    return (
+        session_graph_from_network(net, 0, 5),
+        session_graph_from_network(net, 1, 5),
+    )
+
+
+class TestMultiSessionLP:
+    def test_total_bounded_by_single_session_sum(self):
+        g1, g2 = two_sessions()
+        total, per = solve_multi_sunicast([g1, g2])
+        solo1 = solve_sunicast(g1).throughput
+        solo2 = solve_sunicast(g2).throughput
+        # Sharing the channel can never beat the sessions run alone.
+        assert total <= solo1 + solo2 + 1e-9
+        assert len(per) == 2
+        assert total == pytest.approx(sum(per))
+
+    def test_single_session_reduces_to_sunicast(self):
+        g1, _ = two_sessions()
+        total, per = solve_multi_sunicast([g1])
+        assert total == pytest.approx(solve_sunicast(g1).throughput, rel=1e-6)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            solve_multi_sunicast([])
+
+
+class TestMultiSessionRateControl:
+    def test_both_sessions_get_positive_throughput(self):
+        g1, g2 = two_sessions()
+        result = MultiSessionRateControl([g1, g2]).run()
+        assert all(t > 0.01 for t in result.throughputs)
+
+    def test_fairness_vs_total_lp(self):
+        # The proportional-fair distributed solution serves both sessions;
+        # the max-total LP may starve one.  Total must stay in the same
+        # ballpark as the LP total (subgradient overshoot tolerated).
+        g1, g2 = two_sessions()
+        result = MultiSessionRateControl([g1, g2]).run()
+        total, _ = solve_multi_sunicast([g1, g2])
+        assert result.total_throughput <= total * 1.35
+
+    def test_capacity_mismatch_rejected(self):
+        from dataclasses import replace
+
+        g1, g2 = two_sessions()
+        g2 = replace(g2, capacity=g2.capacity * 2)
+        with pytest.raises(ValueError, match="capacity"):
+            MultiSessionRateControl([g1, g2])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            MultiSessionRateControl([])
+
+    def test_respects_iteration_cap(self):
+        g1, g2 = two_sessions()
+        config = RateControlConfig(max_iterations=10, min_iterations=1, patience=100)
+        result = MultiSessionRateControl([g1, g2], config).run()
+        assert result.iterations == 10
+        assert not result.converged

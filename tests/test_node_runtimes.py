@@ -1,0 +1,241 @@
+"""Per-node data planes: sources, relays, destinations, unicast FIFOs."""
+
+import numpy as np
+import pytest
+
+from repro.emulator.node import (
+    CodedDestinationRuntime,
+    CodedRelayRuntime,
+    CodedSourceRuntime,
+    FlowDestinationRuntime,
+    FlowPacket,
+    FlowRelayRuntime,
+    FlowSourceRuntime,
+    UnicastRuntime,
+)
+
+PACKET_BYTES = 1000
+
+
+def exact_source(rate=2000.0, blocks=4, queue_limit=10):
+    return CodedSourceRuntime(
+        0, 1, blocks, rate, PACKET_BYTES, np.random.default_rng(0),
+        queue_limit=queue_limit,
+    )
+
+
+class TestCodedSource:
+    def test_generates_at_rate(self):
+        source = exact_source(rate=2000.0)  # 2 packets/second
+        for _ in range(10):
+            source.on_slot(0.5)  # 5 seconds -> 10 packets
+        assert source.packets_generated == 10
+
+    def test_backlog_and_pop(self):
+        source = exact_source()
+        source.on_slot(1.0)
+        assert source.backlog() == 2.0
+        packet = source.pop_transmission()
+        assert packet is not None
+        assert source.queue_length() == 1
+
+    def test_pop_empty_returns_none(self):
+        assert exact_source().pop_transmission() is None
+
+    def test_queue_limit_drops(self):
+        source = exact_source(rate=1e6, queue_limit=5)
+        source.on_slot(1.0)
+        assert source.queue_length() == 5
+        assert source.packets_dropped > 0
+
+    def test_generation_advance_flushes_queue(self):
+        source = exact_source()
+        source.on_slot(1.0)
+        source.advance_generation(1)
+        assert source.queue_length() == 0
+        source.on_slot(1.0)
+        assert source.pop_transmission().generation_id == 1
+
+    def test_stale_advance_ignored(self):
+        source = exact_source()
+        source.advance_generation(2)
+        source.advance_generation(1)  # ignored
+        source.on_slot(1.0)
+        assert source.pop_transmission().generation_id == 2
+
+    def test_demand_rate(self):
+        source = exact_source(rate=2000.0)
+        assert source.demand_rate(0.5) == pytest.approx(1.0)
+
+
+class TestCodedRelay:
+    def _relay(self, mode="rate", **kwargs):
+        defaults = dict(rate_bps=2000.0) if mode == "rate" else dict(
+            tx_credit=1.0, upstream=(0,)
+        )
+        defaults.update(kwargs)
+        return CodedRelayRuntime(
+            1, 1, 4, PACKET_BYTES, np.random.default_rng(1), mode=mode, **defaults
+        )
+
+    def _packet(self, vector, generation=0):
+        from repro.coding.packet import CodedPacket
+
+        return CodedPacket(1, generation, np.asarray(vector, dtype=np.uint8))
+
+    def test_rate_relay_needs_content(self):
+        relay = self._relay()
+        relay.on_slot(1.0)  # credit accrues but buffer empty
+        assert relay.backlog() == 0.0
+        relay.on_receive(self._packet([1, 0, 0, 0]), sender=0)
+        relay.on_slot(1.0)
+        assert relay.backlog() > 0
+
+    def test_credit_cap_limits_burst(self):
+        relay = self._relay()
+        for _ in range(100):
+            relay.on_slot(1.0)  # bank credit far beyond the cap
+        relay.on_receive(self._packet([1, 0, 0, 0]), sender=0)
+        relay.on_slot(0.0001)
+        assert relay.queue_length() <= 4  # cap (3) + the slot's accrual
+
+    def test_credit_relay_earns_on_upstream_hearing(self):
+        relay = self._relay(mode="credit")
+        relay.on_receive(self._packet([1, 0, 0, 0]), sender=0)
+        assert relay.packets_generated == 1  # credit 1.0 -> one packet
+
+    def test_credit_relay_ignores_downstream_senders(self):
+        relay = self._relay(mode="credit")
+        relay.on_receive(self._packet([1, 0, 0, 0]), sender=5)  # not upstream
+        assert relay.packets_generated == 0
+        assert relay.buffered == 1  # still stored (innovative)
+
+    def test_noninnovative_still_earns_credit(self):
+        relay = self._relay(mode="credit", tx_credit=0.5)
+        relay.on_receive(self._packet([1, 0, 0, 0]), sender=0)
+        relay.on_receive(self._packet([1, 0, 0, 0]), sender=0)  # duplicate
+        assert relay.packets_accepted == 1
+        assert relay.packets_heard == 2
+        assert relay.packets_generated == 1  # 0.5 + 0.5 credits
+
+    def test_newer_generation_flushes(self):
+        relay = self._relay()
+        relay.on_receive(self._packet([1, 0, 0, 0], generation=0), sender=0)
+        relay.on_receive(self._packet([0, 1, 0, 0], generation=2), sender=0)
+        assert relay.buffered == 1
+        packet = None
+        relay.on_slot(1.0)
+        packet = relay.pop_transmission()
+        assert packet.generation_id == 2
+
+    def test_invalid_mode(self):
+        with pytest.raises(ValueError):
+            CodedRelayRuntime(
+                1, 1, 4, PACKET_BYTES, np.random.default_rng(0), mode="x"
+            )
+
+
+class TestCodedDestination:
+    def test_ack_fires_exactly_at_full_rank(self):
+        from repro.coding.packet import CodedPacket
+
+        acks = []
+        destination = CodedDestinationRuntime(9, 1, 3, acks.append)
+        identity = np.eye(3, dtype=np.uint8)
+        for k in range(3):
+            destination.on_receive(CodedPacket(1, 0, identity[k]), sender=0)
+        assert acks == [0]
+        assert destination.generations_decoded == 1
+
+    def test_ignores_other_sessions_and_generations(self):
+        from repro.coding.packet import CodedPacket
+
+        destination = CodedDestinationRuntime(9, 1, 3, lambda g: None)
+        destination.on_receive(
+            CodedPacket(2, 0, np.eye(3, dtype=np.uint8)[0]), sender=0
+        )
+        destination.on_receive(
+            CodedPacket(1, 5, np.eye(3, dtype=np.uint8)[0]), sender=0
+        )
+        assert destination.packets_heard == 0
+        assert destination.rank == 0
+
+
+class TestFlowRuntimes:
+    def test_flow_source_packets_carry_full_content(self):
+        source = FlowSourceRuntime(0, 1, 40, 2000.0, PACKET_BYTES)
+        source.on_slot(1.0)
+        packet = source.pop_transmission()
+        assert packet.content == 40.0
+
+    def test_flow_relay_gains_only_from_ahead_senders(self):
+        relay = FlowRelayRuntime(1, 1, 40, PACKET_BYTES, mode="rate", rate_bps=1000)
+        relay.on_receive(FlowPacket(1, 0, 5.0), sender=0)
+        assert relay.information == 1.0
+        relay.on_receive(FlowPacket(1, 0, 0.5), sender=0)  # behind: useless
+        assert relay.information == 1.0
+
+    def test_flow_relay_caps_at_blocks(self):
+        relay = FlowRelayRuntime(1, 1, 2, PACKET_BYTES, mode="rate", rate_bps=1000)
+        for _ in range(5):
+            relay.on_receive(FlowPacket(1, 0, 10.0), sender=0)
+        assert relay.information == 2.0
+
+    def test_flow_destination_acks_at_blocks(self):
+        acks = []
+        destination = FlowDestinationRuntime(9, 1, 3, acks.append)
+        for _ in range(3):
+            destination.on_receive(FlowPacket(1, 0, 40.0), sender=0)
+        assert acks == [0]
+        assert destination.generations_decoded == 1
+
+    def test_flow_generation_advance(self):
+        relay = FlowRelayRuntime(1, 1, 4, PACKET_BYTES, mode="credit",
+                                 tx_credit=1.0, upstream=(0,))
+        relay.on_receive(FlowPacket(1, 0, 4.0), sender=0)
+        relay.on_receive(FlowPacket(1, 3, 4.0), sender=0)
+        assert relay.information == 1.0  # reset then one new unit
+
+
+class TestUnicastRuntime:
+    def test_source_generates_and_forwards(self):
+        delivered = []
+        source = UnicastRuntime(0, 1, rate_bps=2000.0, packet_bytes=PACKET_BYTES)
+        sink = UnicastRuntime(1, None, on_delivered=delivered.append)
+        source.on_slot(1.0)
+        assert source.backlog() == 2.0
+        seq = source.peek_sequence()
+        source.complete_transmission(True)
+        sink.receive_sequence(seq)
+        assert delivered == [0]
+        assert sink.packets_delivered == 1
+
+    def test_failed_transmission_keeps_head(self):
+        source = UnicastRuntime(0, 1, rate_bps=1000.0, packet_bytes=PACKET_BYTES)
+        source.on_slot(1.0)
+        head = source.peek_sequence()
+        source.complete_transmission(False)
+        assert source.peek_sequence() == head  # MAC retransmission
+
+    def test_destination_has_no_backlog(self):
+        sink = UnicastRuntime(1, None)
+        sink.receive_sequence(0)
+        assert sink.backlog() == 0.0
+        assert sink.peek_sequence() is None
+
+    def test_relay_queue_limit(self):
+        relay = UnicastRuntime(1, 2, queue_limit=2)
+        for seq in range(5):
+            relay.receive_sequence(seq)
+        assert relay.queue_length() == 2
+        assert relay.packets_dropped == 3
+
+    def test_complete_without_packet_raises(self):
+        with pytest.raises(RuntimeError):
+            UnicastRuntime(0, 1).complete_transmission(True)
+
+    def test_demand_hint(self):
+        node = UnicastRuntime(
+            0, 1, packet_bytes=PACKET_BYTES, demand_hint_bps=2000.0
+        )
+        assert node.demand_rate(0.5) == pytest.approx(1.0)

@@ -1,0 +1,136 @@
+"""Node selection: distance-decreasing forwarder sets and their DAGs."""
+
+import pytest
+
+from repro.routing.etx import path_etx
+from repro.routing.node_selection import (
+    NodeSelectionError,
+    select_forwarders,
+)
+from repro.topology.random_network import (
+    chain_topology,
+    diamond_topology,
+    fig1_sample_topology,
+    random_network,
+)
+from repro.util.rng import RngFactory
+
+
+class TestBasicSelection:
+    def test_diamond_selects_both_relays(self):
+        net = diamond_topology()
+        result = select_forwarders(net, 0, 3)
+        assert result.nodes == frozenset({0, 1, 2, 3})
+        assert set(result.dag_links) == {(0, 1), (0, 2), (1, 3), (2, 3)}
+
+    def test_chain_selects_whole_path(self):
+        net = chain_topology((0.6, 0.6, 0.6))
+        result = select_forwarders(net, 0, 3)
+        assert result.nodes == frozenset({0, 1, 2, 3})
+
+    def test_source_and_destination_always_included(self):
+        net = fig1_sample_topology()
+        result = select_forwarders(net, 0, 5)
+        assert 0 in result.nodes and 5 in result.nodes
+        assert result.relay_count == len(result.nodes) - 2
+
+    def test_same_endpoints_rejected(self):
+        net = diamond_topology()
+        with pytest.raises(NodeSelectionError):
+            select_forwarders(net, 1, 1)
+
+    def test_unknown_node_rejected(self):
+        net = diamond_topology()
+        with pytest.raises(NodeSelectionError):
+            select_forwarders(net, 0, 99)
+
+    def test_unreachable_destination_rejected(self):
+        net = chain_topology((0.5, 0.5))
+        # Links only point forward; node 0 is unreachable from 2.
+        with pytest.raises(NodeSelectionError):
+            select_forwarders(net, 2, 0)
+
+
+class TestDagProperties:
+    def test_links_strictly_decrease_distance(self):
+        net = random_network(100, rng=RngFactory(4).derive("t"))
+        result = select_forwarders(net, 3, 77)
+        for i, j in result.dag_links:
+            assert result.etx_distance[j] < result.etx_distance[i]
+
+    def test_every_selected_node_reaches_destination(self):
+        net = random_network(100, rng=RngFactory(4).derive("t"))
+        result = select_forwarders(net, 3, 77)
+        # Walk greedily downhill from each node; must reach destination.
+        for node in result.nodes:
+            current = node
+            for _ in range(len(result.nodes)):
+                if current == result.destination:
+                    break
+                downstream = result.downstream(current)
+                assert downstream, f"node {current} has no way forward"
+                current = min(downstream, key=lambda j: result.etx_distance[j])
+            assert current == result.destination
+
+    def test_forwarders_closer_than_source(self):
+        net = random_network(100, rng=RngFactory(4).derive("t"))
+        result = select_forwarders(net, 3, 77)
+        source_distance = result.etx_distance[result.source]
+        for node in result.nodes:
+            if node != result.source:
+                assert result.etx_distance[node] < source_distance
+
+    def test_upstream_downstream_consistency(self):
+        net = fig1_sample_topology()
+        result = select_forwarders(net, 0, 5)
+        for i, j in result.dag_links:
+            assert j in result.downstream(i)
+            assert i in result.upstream(j)
+
+    def test_ordered_by_distance(self):
+        net = fig1_sample_topology()
+        result = select_forwarders(net, 0, 5)
+        ordered = result.ordered_by_distance()
+        assert ordered[0] == result.destination
+        distances = [result.etx_distance[n] for n in ordered]
+        assert distances == sorted(distances)
+
+    def test_distance_matches_shortest_path(self):
+        net = fig1_sample_topology()
+        result = select_forwarders(net, 0, 5)
+        # ETX distance of node 3 to destination 5: direct link 0.9.
+        assert result.etx_distance[3] == pytest.approx(1 / 0.9)
+
+
+def _reachable_pair(net):
+    """Find a (source, destination) pair that node selection accepts."""
+    for source in range(net.node_count):
+        for destination in range(net.node_count - 1, 0, -1):
+            if source == destination:
+                continue
+            try:
+                select_forwarders(net, source, destination)
+            except NodeSelectionError:
+                continue
+            return source, destination
+    raise AssertionError("no reachable pair in test network")
+
+
+class TestMaxDistanceFactor:
+    def test_cap_prunes_far_forwarders(self):
+        net = random_network(100, rng=RngFactory(8).derive("t"))
+        source, destination = _reachable_pair(net)
+        unrestricted = select_forwarders(net, source, destination)
+        try:
+            capped = select_forwarders(
+                net, source, destination, max_distance_factor=0.8
+            )
+        except NodeSelectionError:
+            return  # aggressive caps may sever the route entirely
+        assert capped.nodes <= unrestricted.nodes
+
+    def test_measured_weights_supported(self):
+        net = diamond_topology()
+        weights = {(i, j): 1.0 / p for i, j, p in net.links()}
+        result = select_forwarders(net, 0, 3, weights=weights)
+        assert result.nodes == frozenset({0, 1, 2, 3})

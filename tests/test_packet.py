@@ -1,0 +1,119 @@
+"""Coded packet format and wire serialization."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding.packet import HEADER_BYTES, CodedPacket
+
+
+def make_packet(session=1, generation=0, n=4, m=8, seed=0):
+    rng = np.random.default_rng(seed)
+    return CodedPacket(
+        session_id=session,
+        generation_id=generation,
+        coefficients=rng.integers(0, 256, n, dtype=np.uint8),
+        payload=rng.integers(0, 256, m, dtype=np.uint8),
+    )
+
+
+class TestConstruction:
+    def test_fields(self):
+        packet = make_packet(session=7, generation=3, n=5, m=16)
+        assert packet.session_id == 7
+        assert packet.generation_id == 3
+        assert packet.blocks == 5
+        assert packet.block_size == 16
+
+    def test_coefficients_are_immutable_copies(self):
+        coeffs = np.ones(4, dtype=np.uint8)
+        packet = CodedPacket(1, 0, coeffs)
+        coeffs[0] = 99
+        assert packet.coefficients[0] == 1
+        with pytest.raises(ValueError):
+            packet.coefficients[0] = 2
+
+    def test_coefficient_only_mode(self):
+        packet = CodedPacket(1, 0, np.ones(4, dtype=np.uint8))
+        assert packet.payload is None
+        assert packet.block_size == 0
+
+    def test_rejects_empty_coefficients(self):
+        with pytest.raises(ValueError):
+            CodedPacket(1, 0, np.zeros(0, dtype=np.uint8))
+
+    def test_rejects_2d_coefficients(self):
+        with pytest.raises(ValueError):
+            CodedPacket(1, 0, np.zeros((2, 2), dtype=np.uint8))
+
+    def test_rejects_out_of_range_ids(self):
+        with pytest.raises(ValueError):
+            CodedPacket(-1, 0, np.ones(2, dtype=np.uint8))
+        with pytest.raises(ValueError):
+            CodedPacket(1, 2**32, np.ones(2, dtype=np.uint8))
+
+    def test_is_zero(self):
+        assert CodedPacket(1, 0, np.zeros(3, dtype=np.uint8)).is_zero()
+        assert not make_packet().is_zero()
+
+    def test_wire_size(self):
+        packet = make_packet(n=4, m=8)
+        assert packet.wire_size == HEADER_BYTES + 4 + 8
+
+
+class TestSerialization:
+    def test_round_trip(self):
+        packet = make_packet(session=42, generation=9, n=6, m=32)
+        parsed = CodedPacket.from_bytes(packet.to_bytes())
+        assert parsed.session_id == 42
+        assert parsed.generation_id == 9
+        assert np.array_equal(parsed.coefficients, packet.coefficients)
+        assert np.array_equal(parsed.payload, packet.payload)
+
+    @given(
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=0, max_value=2**32 - 1),
+        st.integers(min_value=1, max_value=40),
+        st.integers(min_value=1, max_value=64),
+    )
+    @settings(max_examples=30)
+    def test_round_trip_property(self, session, generation, n, m):
+        rng = np.random.default_rng(n * 64 + m)
+        packet = CodedPacket(
+            session_id=session,
+            generation_id=generation,
+            coefficients=rng.integers(0, 256, n, dtype=np.uint8),
+            payload=rng.integers(0, 256, m, dtype=np.uint8),
+        )
+        parsed = CodedPacket.from_bytes(packet.to_bytes())
+        assert parsed.session_id == session
+        assert parsed.generation_id == generation
+        assert np.array_equal(parsed.coefficients, packet.coefficients)
+        assert np.array_equal(parsed.payload, packet.payload)
+
+    def test_coefficient_only_cannot_serialize(self):
+        packet = CodedPacket(1, 0, np.ones(3, dtype=np.uint8))
+        with pytest.raises(ValueError, match="coefficient-only"):
+            packet.to_bytes()
+
+    def test_truncated_rejected(self):
+        data = make_packet().to_bytes()
+        with pytest.raises(ValueError):
+            CodedPacket.from_bytes(data[:-1])
+
+    def test_bad_magic_rejected(self):
+        data = bytearray(make_packet().to_bytes())
+        data[0] ^= 0xFF
+        with pytest.raises(ValueError, match="magic"):
+            CodedPacket.from_bytes(bytes(data))
+
+    def test_bad_version_rejected(self):
+        data = bytearray(make_packet().to_bytes())
+        data[2] = 99
+        with pytest.raises(ValueError, match="version"):
+            CodedPacket.from_bytes(bytes(data))
+
+    def test_short_header_rejected(self):
+        with pytest.raises(ValueError, match="truncated"):
+            CodedPacket.from_bytes(b"\x00" * 3)

@@ -1,0 +1,109 @@
+"""The empirical PHY model: shape, calibration, power scaling."""
+
+import numpy as np
+import pytest
+
+from repro.topology.phy import (
+    EmpiricalPhyModel,
+    PhyParams,
+    high_quality_phy,
+    lossy_phy,
+)
+
+
+class TestPhyParams:
+    def test_defaults_valid(self):
+        PhyParams()
+
+    def test_threshold_must_be_interior(self):
+        with pytest.raises(ValueError):
+            PhyParams(range_threshold=0.0)
+        with pytest.raises(ValueError):
+            PhyParams(range_threshold=1.0)
+
+    def test_plateau_above_threshold(self):
+        with pytest.raises(ValueError):
+            PhyParams(plateau_probability=0.1, range_threshold=0.2)
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            PhyParams(shadowing_sigma=-0.1)
+
+
+class TestMeanCurve:
+    def setup_method(self):
+        self.model = EmpiricalPhyModel(
+            PhyParams(shadowing_sigma=0.0), rng=np.random.default_rng(0)
+        )
+
+    def test_plateau_near_transmitter(self):
+        params = self.model.params
+        assert self.model.mean_probability(0.0) == pytest.approx(
+            params.plateau_probability
+        )
+
+    def test_threshold_reached_at_range(self):
+        params = self.model.params
+        at_range = self.model.mean_probability(params.communication_range)
+        assert at_range == pytest.approx(params.range_threshold, abs=1e-9)
+
+    def test_zero_beyond_range(self):
+        assert self.model.mean_probability(
+            self.model.effective_range * 1.01
+        ) == 0.0
+
+    def test_monotone_nonincreasing(self):
+        distances = np.linspace(0, self.model.effective_range, 200)
+        values = self.model.mean_probability_array(distances)
+        assert np.all(np.diff(values) <= 1e-12)
+
+    def test_negative_distance_rejected(self):
+        with pytest.raises(ValueError):
+            self.model.mean_probability(-1.0)
+
+    def test_no_jitter_link_probability_equals_mean(self):
+        d = 42.0
+        assert self.model.link_probability(d) == pytest.approx(
+            self.model.mean_probability(d)
+        )
+
+
+class TestJitterAndPower:
+    def test_jitter_is_bounded(self):
+        model = lossy_phy(rng=np.random.default_rng(1))
+        values = [model.link_probability(50.0) for _ in range(300)]
+        assert all(0.02 <= v <= 0.995 for v in values)
+        assert np.std(values) > 0.01  # jitter is actually present
+
+    def test_power_scale_extends_range(self):
+        base = lossy_phy(rng=np.random.default_rng(2))
+        boosted = base.with_power_scale(2.0)
+        assert boosted.effective_range == pytest.approx(2 * base.params.communication_range)
+        d = base.params.communication_range * 1.5
+        assert base.link_probability(d) == 0.0
+        assert boosted.link_probability(d) > 0.0
+
+    def test_with_power_scale_validates(self):
+        with pytest.raises(ValueError):
+            lossy_phy().with_power_scale(0.0)
+
+
+class TestCalibration:
+    """The two named profiles must hit the paper's average qualities."""
+
+    def _average_quality(self, factory, seed):
+        from repro.topology.random_network import random_network
+        from repro.util.rng import RngFactory
+
+        rng = RngFactory(seed)
+        phy = factory(rng=rng.derive("phy"))
+        network = random_network(150, phy=phy, rng=rng.derive("topo"))
+        return network.average_link_probability()
+
+    def test_lossy_profile_near_058(self):
+        values = [self._average_quality(lossy_phy, seed) for seed in (1, 2, 3)]
+        assert 0.50 <= np.mean(values) <= 0.66
+
+    def test_high_quality_profile_near_091(self):
+        values = [self._average_quality(high_quality_phy, seed) for seed in (1, 2, 3)]
+        assert 0.86 <= np.mean(values) <= 0.96

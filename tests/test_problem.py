@@ -1,0 +1,122 @@
+"""Session graph construction and accessors."""
+
+import pytest
+
+from repro.optimization.problem import (
+    SessionGraph,
+    session_graph_from_network,
+    session_graph_from_selection,
+)
+from repro.routing.node_selection import select_forwarders
+from repro.topology.random_network import diamond_topology, fig1_sample_topology
+
+
+def diamond_graph():
+    return session_graph_from_network(diamond_topology(), 0, 3)
+
+
+class TestSessionGraph:
+    def test_from_network(self):
+        graph = diamond_graph()
+        assert graph.node_count == 4
+        assert graph.link_count == 4
+        assert graph.source == 0
+        assert graph.destination == 3
+
+    def test_supply(self):
+        graph = diamond_graph()
+        assert graph.supply(0) == 1
+        assert graph.supply(3) == -1
+        assert graph.supply(1) == 0
+
+    def test_out_in_links(self):
+        graph = diamond_graph()
+        assert graph.out_links(0) == ((0, 1), (0, 2))
+        assert graph.in_links(3) == ((1, 3), (2, 3))
+
+    def test_transmitters_exclude_sink_only_nodes(self):
+        graph = diamond_graph()
+        assert graph.transmitters() == (0, 1, 2)
+
+    def test_mac_constrained_excludes_source(self):
+        graph = diamond_graph()
+        assert 0 not in graph.mac_constrained_nodes()
+        assert set(graph.mac_constrained_nodes()) == {1, 2, 3}
+
+    def test_union_probability(self):
+        graph = diamond_graph()
+        # S has links 0.6 and 0.5: q = 1 - 0.4*0.5 = 0.8.
+        assert graph.union_probability(0) == pytest.approx(0.8)
+        # Relay 1 has one link at 0.7.
+        assert graph.union_probability(1) == pytest.approx(0.7)
+        # Destination transmits nothing.
+        assert graph.union_probability(3) == 0.0
+
+    def test_denormalization(self):
+        graph = diamond_graph()
+        rates = graph.denormalize_rates({0: 0.5})
+        assert rates[0] == pytest.approx(0.5 * graph.capacity)
+        flows = graph.denormalize_flows({(0, 1): 0.25})
+        assert flows[(0, 1)] == pytest.approx(0.25 * graph.capacity)
+
+    def test_validation_same_endpoints(self):
+        with pytest.raises(ValueError):
+            SessionGraph(
+                source=0,
+                destination=0,
+                nodes=(0,),
+                links=(),
+                probability={},
+                neighbors={0: frozenset()},
+                capacity=1.0,
+            )
+
+    def test_validation_unselected_link(self):
+        with pytest.raises(ValueError):
+            SessionGraph(
+                source=0,
+                destination=1,
+                nodes=(0, 1),
+                links=((0, 2),),
+                probability={(0, 2): 0.5},
+                neighbors={0: frozenset(), 1: frozenset()},
+                capacity=1.0,
+            )
+
+    def test_validation_bad_probability(self):
+        with pytest.raises(ValueError):
+            SessionGraph(
+                source=0,
+                destination=1,
+                nodes=(0, 1),
+                links=((0, 1),),
+                probability={(0, 1): 0.0},
+                neighbors={0: frozenset(), 1: frozenset()},
+                capacity=1.0,
+            )
+
+
+class TestFromSelection:
+    def test_selection_graph_uses_dag_links(self):
+        net = fig1_sample_topology()
+        forwarders = select_forwarders(net, 0, 5)
+        graph = session_graph_from_selection(net, forwarders)
+        assert set(graph.links) == set(forwarders.dag_links)
+        assert graph.capacity == net.capacity
+
+    def test_neighbors_restricted_to_selection(self):
+        net = fig1_sample_topology()
+        forwarders = select_forwarders(net, 0, 5)
+        graph = session_graph_from_selection(net, forwarders)
+        for node in graph.nodes:
+            assert graph.neighbors[node] <= forwarders.nodes
+
+    def test_measured_probabilities_override(self):
+        net = diamond_topology()
+        forwarders = select_forwarders(net, 0, 3)
+        measured = {link: 0.5 for link in forwarders.dag_links}
+        graph = session_graph_from_selection(
+            net, forwarders, probabilities=measured
+        )
+        for link in graph.links:
+            assert graph.probability[link] == 0.5

@@ -1,0 +1,177 @@
+"""Cross-module property-based tests (hypothesis).
+
+These complement the per-module suites with randomized invariants that
+span layers: coding survives arbitrary loss patterns, node selection
+always yields DAGs, the scheduler never violates conflicts, and the
+optimizer's LP dominates its own distributed approximation's feasible
+region.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.coding import matrix as gfm
+from repro.coding.decoder import ProgressiveDecoder
+from repro.coding.encoder import RelayReEncoder, SourceEncoder
+from repro.coding.generation import GenerationParams, random_generation
+from repro.emulator.scheduler import ConflictGraph, IdealMacScheduler
+from repro.optimization.problem import (
+    session_graph_from_network,
+    session_graph_from_selection,
+)
+from repro.optimization.sunicast import solve_sunicast
+from repro.routing.node_selection import NodeSelectionError, select_forwarders
+from repro.topology.random_network import chain_topology, random_network
+from repro.util.rng import RngFactory
+
+
+class TestCodingUnderArbitraryLoss:
+    @given(
+        st.integers(min_value=2, max_value=8),
+        st.floats(min_value=0.0, max_value=0.7),
+        st.integers(min_value=0, max_value=10_000),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_decoding_always_succeeds_eventually(self, blocks, loss, seed):
+        rng = np.random.default_rng(seed)
+        generation = random_generation(0, GenerationParams(blocks, 8), rng)
+        encoder = SourceEncoder(1, generation, rng)
+        decoder = ProgressiveDecoder(blocks, 8)
+        attempts = 0
+        while not decoder.is_complete:
+            attempts += 1
+            assert attempts < 5000
+            packet = encoder.next_packet()
+            if rng.random() < loss:
+                continue
+            decoder.add_packet(packet)
+        assert np.array_equal(decoder.decode(), generation.matrix)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=15, deadline=None)
+    def test_relay_buffer_rank_never_exceeds_seen_packets(self, seed):
+        rng = np.random.default_rng(seed)
+        generation = random_generation(0, GenerationParams(6, 8), rng)
+        encoder = SourceEncoder(1, generation, rng)
+        relay = RelayReEncoder(1, 6, rng)
+        offered = 0
+        while not relay.is_full and offered < 50:
+            relay.accept(encoder.next_packet())
+            offered += 1
+            assert relay.buffered <= min(offered, 6)
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=10, deadline=None)
+    def test_reencoded_stream_decodes_to_original(self, seed):
+        rng = np.random.default_rng(seed)
+        generation = random_generation(0, GenerationParams(5, 12), rng)
+        encoder = SourceEncoder(1, generation, rng)
+        relay = RelayReEncoder(1, 5, rng)
+        while not relay.is_full:
+            relay.accept(encoder.next_packet())
+        decoder = ProgressiveDecoder(5, 12)
+        guard = 0
+        while not decoder.is_complete:
+            guard += 1
+            assert guard < 1000
+            decoder.add_packet(relay.next_packet())
+        assert np.array_equal(decoder.decode(), generation.matrix)
+
+
+class TestSelectionProperties:
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_selection_yields_acyclic_strictly_decreasing_dag(self, seed):
+        network = random_network(60, rng=RngFactory(seed).derive("t"))
+        found = 0
+        for source in range(0, 60, 7):
+            for destination in range(3, 60, 11):
+                if source == destination:
+                    continue
+                try:
+                    result = select_forwarders(network, source, destination)
+                except NodeSelectionError:
+                    continue
+                found += 1
+                for i, j in result.dag_links:
+                    assert result.etx_distance[j] < result.etx_distance[i]
+                if found >= 3:
+                    return
+
+    @given(st.integers(min_value=0, max_value=200))
+    @settings(max_examples=10, deadline=None)
+    def test_session_graph_lp_feasible_whenever_selection_succeeds(self, seed):
+        network = random_network(50, rng=RngFactory(seed).derive("t"))
+        for source in range(0, 50, 13):
+            for destination in range(5, 50, 17):
+                if source == destination:
+                    continue
+                try:
+                    forwarders = select_forwarders(network, source, destination)
+                except NodeSelectionError:
+                    continue
+                graph = session_graph_from_selection(network, forwarders)
+                solution = solve_sunicast(graph)
+                assert solution.throughput >= 0
+                return
+
+
+class TestSchedulerProperties:
+    @given(
+        st.integers(min_value=0, max_value=500),
+        st.integers(min_value=2, max_value=6),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_grants_always_independent(self, seed, hops):
+        probabilities = tuple([0.5] * hops)
+        network = chain_topology(probabilities)
+        participants = list(range(hops + 1))
+        graph = ConflictGraph(network, participants)
+        scheduler = IdealMacScheduler(graph, rng=np.random.default_rng(seed))
+        rng = np.random.default_rng(seed + 1)
+        for _ in range(20):
+            backlogs = {
+                n: float(rng.integers(0, 3)) for n in participants
+            }
+            weights = {n: float(rng.uniform(0.05, 2.0)) for n in participants}
+            granted = scheduler.schedule(backlogs, weights)
+            assert graph.is_independent(granted)
+            for node in granted:
+                assert backlogs[node] > 0
+
+
+class TestLpMonotonicity:
+    @given(st.floats(min_value=0.1, max_value=0.9))
+    @settings(max_examples=10, deadline=None)
+    def test_throughput_monotone_in_link_quality(self, p):
+        base = chain_topology((p, 0.6))
+        better = chain_topology((min(p + 0.05, 0.95), 0.6))
+        gamma_base = solve_sunicast(
+            session_graph_from_network(base, 0, 2)
+        ).throughput
+        gamma_better = solve_sunicast(
+            session_graph_from_network(better, 0, 2)
+        ).throughput
+        assert gamma_better >= gamma_base - 1e-9
+
+    @given(st.integers(min_value=0, max_value=100))
+    @settings(max_examples=10, deadline=None)
+    def test_5b_only_tightens(self, seed):
+        network = random_network(40, rng=RngFactory(seed).derive("t"))
+        for source in range(0, 40, 9):
+            for destination in range(4, 40, 11):
+                if source == destination:
+                    continue
+                try:
+                    forwarders = select_forwarders(network, source, destination)
+                except NodeSelectionError:
+                    continue
+                graph = session_graph_from_selection(network, forwarders)
+                with_5b = solve_sunicast(graph).throughput
+                without_5b = solve_sunicast(
+                    graph, broadcast_information=False
+                ).throughput
+                assert with_5b <= without_5b + 1e-9
+                return

@@ -1,0 +1,73 @@
+"""Pseudo-broadcast cost model and reliable flood."""
+
+import pytest
+
+from repro.routing.pseudo_broadcast import (
+    neighborhood_broadcast_cost,
+    reliable_flood,
+)
+from repro.topology.random_network import (
+    chain_topology,
+    diamond_topology,
+    random_network,
+)
+from repro.util.rng import RngFactory
+
+
+class TestNeighborhoodCost:
+    def test_single_perfect_neighbor_costs_one(self):
+        net = chain_topology((1.0,))
+        cost = neighborhood_broadcast_cost(net, 0)
+        assert cost.transmissions == pytest.approx(1.0)
+        assert cost.covered == frozenset({1})
+
+    def test_lossy_neighbor_costs_expected_retries(self):
+        net = chain_topology((0.5,))
+        cost = neighborhood_broadcast_cost(net, 0)
+        assert cost.transmissions == pytest.approx(2.0)
+
+    def test_multiple_neighbors_benefit_from_overhearing(self):
+        # Source with two neighbors: retransmissions for the first also
+        # cover the second, so cost < sum of individual costs.
+        net = diamond_topology(p_su=0.5, p_sv=0.5)
+        cost = neighborhood_broadcast_cost(net, 0)
+        assert cost.covered == frozenset({1, 2})
+        # Never worse than unicasting to each neighbor separately.
+        assert 2.0 <= cost.transmissions <= 4.0
+
+    def test_no_neighbors(self):
+        net = chain_topology((0.5,))
+        cost = neighborhood_broadcast_cost(net, 1)  # node 1 has no out-links
+        assert cost.transmissions == 0.0
+        assert cost.covered == frozenset()
+
+
+class TestReliableFlood:
+    def test_flood_covers_connected_component(self):
+        net = random_network(60, rng=RngFactory(5).derive("t"))
+        result = reliable_flood(net, 0)
+        # Every reached node heard the flood; origin always included.
+        assert 0 in result.reached
+        assert len(result.reached) > 1
+        assert result.total_transmissions > 0
+
+    def test_flood_restricted_to_eligible_forwarders(self):
+        net = chain_topology((0.9, 0.9, 0.9))
+        full = reliable_flood(net, 0)
+        assert full.reached == frozenset({0, 1, 2, 3})
+        # Node 1 may receive but not forward: flood stops at 1's radio
+        # horizon (node 2 is still within 0's and 1's shared range zone
+        # only via 1's forwarding in this chain geometry? node 2 is two
+        # hops from 0 geometrically in range, so it may still be covered).
+        limited = reliable_flood(net, 0, eligible=frozenset({0}))
+        assert limited.reached <= full.reached
+
+    def test_flood_origin_validated(self):
+        net = chain_topology((0.5,))
+        with pytest.raises(ValueError):
+            reliable_flood(net, 9)
+
+    def test_forward_order_starts_at_origin(self):
+        net = chain_topology((0.9, 0.9))
+        result = reliable_flood(net, 0)
+        assert result.forward_order[0] == 0

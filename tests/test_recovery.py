@@ -1,0 +1,84 @@
+"""Primal-recovery averaging."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.optimization.recovery import IterateAverager
+
+
+class TestIterateAverager:
+    def test_empty_average_is_zero(self):
+        averager = IterateAverager(3)
+        assert np.array_equal(averager.average(), np.zeros(3))
+
+    def test_full_average(self):
+        averager = IterateAverager(2, tail=1.0)
+        averager.push(np.array([1.0, 0.0]))
+        averager.push(np.array([3.0, 2.0]))
+        assert np.allclose(averager.average(), [2.0, 1.0])
+
+    def test_tail_average_drops_early_iterates(self):
+        averager = IterateAverager(1, tail=0.5)
+        for value in [100.0, 100.0, 1.0, 1.0]:
+            averager.push(np.array([value]))
+        # Tail of 0.5 over 4 iterates averages the last 2 only.
+        assert averager.average()[0] == pytest.approx(1.0)
+
+    def test_tail_of_single_iterate(self):
+        averager = IterateAverager(1, tail=0.5)
+        averager.push(np.array([7.0]))
+        assert averager.average()[0] == pytest.approx(7.0)
+
+    def test_count(self):
+        averager = IterateAverager(1)
+        assert averager.count == 0
+        averager.push(np.array([1.0]))
+        assert averager.count == 1
+
+    def test_shape_validation(self):
+        averager = IterateAverager(2)
+        with pytest.raises(ValueError):
+            averager.push(np.zeros(3))
+
+    def test_constructor_validation(self):
+        with pytest.raises(ValueError):
+            IterateAverager(-1)
+        with pytest.raises(ValueError):
+            IterateAverager(2, tail=0.0)
+        with pytest.raises(ValueError):
+            IterateAverager(2, tail=1.5)
+
+    @given(
+        st.lists(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            min_size=1,
+            max_size=30,
+        )
+    )
+    @settings(max_examples=30)
+    def test_full_average_matches_numpy(self, values):
+        averager = IterateAverager(1, tail=1.0)
+        for value in values:
+            averager.push(np.array([value]))
+        assert averager.average()[0] == pytest.approx(np.mean(values), abs=1e-9)
+
+    @given(
+        st.lists(
+            st.floats(min_value=0, max_value=1, allow_nan=False),
+            min_size=4,
+            max_size=40,
+        ),
+        st.floats(min_value=0.1, max_value=1.0),
+    )
+    @settings(max_examples=30)
+    def test_tail_average_matches_slice(self, values, tail):
+        averager = IterateAverager(1, tail=tail)
+        for value in values:
+            averager.push(np.array([value]))
+        t = len(values)
+        start = int(np.floor(t * (1.0 - tail)))
+        start = min(start, t - 1)
+        expected = np.mean(values[start:])
+        assert averager.average()[0] == pytest.approx(expected, abs=1e-9)

@@ -1,0 +1,107 @@
+"""The ideal MAC: conflict graphs and weighted-lottery scheduling."""
+
+import numpy as np
+import pytest
+
+from repro.emulator.scheduler import ConflictGraph, IdealMacScheduler
+from repro.topology.random_network import (
+    chain_topology,
+    diamond_topology,
+    network_from_links,
+)
+
+
+class TestConflictGraph:
+    def test_one_hop_conflicts(self):
+        net = chain_topology((0.5, 0.5, 0.5))
+        graph = ConflictGraph(net, [0, 1, 2, 3])
+        # chain geometry: nodes within 2 positions are in range.
+        assert 1 in graph.conflicts_of(0)
+        assert 2 in graph.conflicts_of(0)
+        assert 3 not in graph.conflicts_of(0)
+
+    def test_two_hop_conflicts_add_shared_receivers(self):
+        net = diamond_topology()
+        one_hop = ConflictGraph(net, [0, 1, 2, 3])
+        two_hop = ConflictGraph(net, [0, 1, 2, 3], two_hop=True)
+        # Relays 1 and 2 are out of range (no one-hop conflict) but share
+        # receivers S and T (two-hop conflict).
+        assert 2 not in one_hop.conflicts_of(1)
+        assert 2 in two_hop.conflicts_of(1)
+
+    def test_is_independent(self):
+        net = diamond_topology()
+        graph = ConflictGraph(net, [0, 1, 2, 3])
+        assert graph.is_independent([1, 2])
+        assert not graph.is_independent([0, 1])
+
+    def test_unknown_participant_rejected(self):
+        net = diamond_topology()
+        with pytest.raises(ValueError):
+            ConflictGraph(net, [0, 99])
+
+
+class TestScheduler:
+    def _uniform(self, nodes, value=1.0):
+        return {n: value for n in nodes}
+
+    def test_empty_when_no_backlog(self):
+        net = diamond_topology()
+        scheduler = IdealMacScheduler(ConflictGraph(net, [0, 1, 2, 3]))
+        assert scheduler.schedule({}, {}) == ()
+
+    def test_granted_set_is_independent(self):
+        net = chain_topology((0.5, 0.5, 0.5))
+        graph = ConflictGraph(net, [0, 1, 2, 3])
+        scheduler = IdealMacScheduler(graph, rng=np.random.default_rng(0))
+        for _ in range(100):
+            granted = scheduler.schedule(
+                self._uniform(range(4)), self._uniform(range(4), 0.5)
+            )
+            assert granted
+            assert graph.is_independent(granted)
+
+    def test_granted_set_is_maximal(self):
+        net = diamond_topology()
+        graph = ConflictGraph(net, [0, 1, 2, 3])
+        scheduler = IdealMacScheduler(graph, rng=np.random.default_rng(1))
+        for _ in range(50):
+            granted = scheduler.schedule(
+                self._uniform([1, 2]), self._uniform([1, 2], 0.3)
+            )
+            # Relays 1 and 2 do not conflict: both must be granted.
+            assert set(granted) == {1, 2}
+
+    def test_service_shares_proportional_to_weights(self):
+        # Single collision domain, two contenders with weights 3:1.
+        net = network_from_links({(0, 1): 0.9, (1, 0): 0.9, (0, 2): 0.9})
+        graph = ConflictGraph(net, [0, 1])
+        scheduler = IdealMacScheduler(graph, rng=np.random.default_rng(2))
+        counts = {0: 0, 1: 0}
+        rounds = 4000
+        for _ in range(rounds):
+            granted = scheduler.schedule(
+                self._uniform([0, 1]), {0: 0.6, 1: 0.2}
+            )
+            assert len(granted) == 1  # they conflict
+            counts[granted[0]] += 1
+        share = counts[0] / rounds
+        assert 0.68 <= share <= 0.82  # expect ~0.75
+
+    def test_zero_weight_gets_floor_not_starved(self):
+        net = network_from_links({(0, 1): 0.9, (1, 0): 0.9, (0, 2): 0.9})
+        graph = ConflictGraph(net, [0, 1])
+        scheduler = IdealMacScheduler(graph, rng=np.random.default_rng(3))
+        counts = {0: 0, 1: 0}
+        for _ in range(5000):
+            granted = scheduler.schedule(self._uniform([0, 1]), {0: 1.0, 1: 0.0})
+            counts[granted[0]] += 1
+        assert counts[1] > 0  # the floor weight keeps it alive
+
+    def test_only_backlogged_granted(self):
+        net = diamond_topology()
+        scheduler = IdealMacScheduler(
+            ConflictGraph(net, [0, 1, 2, 3]), rng=np.random.default_rng(4)
+        )
+        granted = scheduler.schedule({1: 1.0}, {1: 0.5})
+        assert granted == (1,)

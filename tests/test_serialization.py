@@ -1,0 +1,62 @@
+"""Topology JSON persistence."""
+
+import json
+
+import pytest
+
+from repro.topology.serialization import (
+    FORMAT_NAME,
+    load_network,
+    network_from_dict,
+    network_to_dict,
+    save_network,
+)
+from repro.topology.random_network import diamond_topology, random_network
+from repro.util.rng import RngFactory
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        original = random_network(40, rng=RngFactory(3).derive("t"))
+        rebuilt = network_from_dict(network_to_dict(original))
+        assert rebuilt.node_count == original.node_count
+        assert rebuilt.communication_range == original.communication_range
+        assert rebuilt.capacity == original.capacity
+        assert sorted(rebuilt.links()) == sorted(original.links())
+        for i in original.nodes():
+            assert rebuilt.neighbors(i) == original.neighbors(i)
+
+    def test_file_round_trip(self, tmp_path):
+        original = diamond_topology()
+        path = tmp_path / "net.json"
+        save_network(original, path)
+        rebuilt = load_network(path)
+        assert sorted(rebuilt.links()) == sorted(original.links())
+
+    def test_document_is_valid_json(self, tmp_path):
+        path = tmp_path / "net.json"
+        save_network(diamond_topology(), path)
+        document = json.loads(path.read_text())
+        assert document["format"] == FORMAT_NAME
+
+
+class TestValidation:
+    def test_wrong_format_rejected(self):
+        with pytest.raises(ValueError, match="not a"):
+            network_from_dict({"format": "something-else", "version": 1})
+
+    def test_wrong_version_rejected(self):
+        document = network_to_dict(diamond_topology())
+        document["version"] = 99
+        with pytest.raises(ValueError, match="version"):
+            network_from_dict(document)
+
+    def test_non_dict_rejected(self):
+        with pytest.raises(ValueError):
+            network_from_dict([1, 2, 3])
+
+    def test_missing_field_rejected(self):
+        document = network_to_dict(diamond_topology())
+        del document["links"]
+        with pytest.raises(ValueError, match="malformed"):
+            network_from_dict(document)

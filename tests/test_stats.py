@@ -1,0 +1,172 @@
+"""Figure metrics: gains, DAG path counting, utility, distributions."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.emulator.session import SessionResult
+from repro.emulator.stats import (
+    ascii_cdf,
+    count_dag_paths,
+    summarize,
+    throughput_gain,
+    utility_ratios,
+)
+from repro.routing.node_selection import ForwarderSet
+
+
+def make_result(**overrides):
+    defaults = dict(
+        protocol="omnc",
+        source=0,
+        destination=3,
+        throughput_bps=1000.0,
+        duration=10.0,
+        generations_decoded=1,
+        packets_delivered=40,
+        ack_times=(10.0,),
+        average_queues={0: 0.5, 1: 1.5, 2: 0.0},
+        transmissions={0: 10, 1: 5, 2: 0},
+        participants=(0, 1, 2, 3),
+        delivered_links=((0, 1), (1, 3)),
+    )
+    defaults.update(overrides)
+    return SessionResult(**defaults)
+
+
+class TestThroughputGain:
+    def test_simple_ratio(self):
+        a = make_result(throughput_bps=2000.0)
+        b = make_result(throughput_bps=1000.0, protocol="etx")
+        assert throughput_gain(a, b) == pytest.approx(2.0)
+
+    def test_zero_baseline_inf(self):
+        a = make_result(throughput_bps=10.0)
+        b = make_result(throughput_bps=0.0, protocol="etx")
+        assert throughput_gain(a, b) == float("inf")
+
+    def test_both_zero(self):
+        a = make_result(throughput_bps=0.0)
+        b = make_result(throughput_bps=0.0)
+        assert throughput_gain(a, b) == 0.0
+
+
+class TestPathCounting:
+    def test_diamond_has_two_paths(self):
+        links = [(0, 1), (0, 2), (1, 3), (2, 3)]
+        assert count_dag_paths(links, 0, 3) == 2
+
+    def test_chain_has_one_path(self):
+        assert count_dag_paths([(0, 1), (1, 2)], 0, 2) == 1
+
+    def test_disconnected_zero(self):
+        assert count_dag_paths([(0, 1)], 0, 3) == 0
+
+    def test_layered_dag_multiplies(self):
+        # Two parallel nodes per layer, two layers: 2 * 2 = 4 paths.
+        links = [
+            (0, 1), (0, 2),
+            (1, 3), (1, 4), (2, 3), (2, 4),
+            (3, 5), (4, 5),
+        ]
+        assert count_dag_paths(links, 0, 5) == 4
+
+    def test_cycle_detected(self):
+        with pytest.raises(ValueError, match="cycle"):
+            count_dag_paths([(0, 1), (1, 0)], 0, 1)
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=10)
+    def test_parallel_chain_count(self, width):
+        # width disjoint 2-hop paths source->relay_k->destination.
+        links = []
+        for k in range(width):
+            relay = k + 1
+            links.append((0, relay))
+            links.append((relay, 99))
+        assert count_dag_paths(links, 0, 99) == width
+
+
+class TestUtilityRatios:
+    def _forwarders(self):
+        return ForwarderSet(
+            source=0,
+            destination=3,
+            nodes=frozenset({0, 1, 2, 3}),
+            etx_distance={0: 3.0, 1: 1.2, 2: 1.1, 3: 0.0},
+            dag_links=((0, 1), (0, 2), (1, 3), (2, 3)),
+        )
+
+    def test_full_utilization(self):
+        result = make_result(
+            transmissions={0: 5, 1: 5, 2: 5, 3: 0},
+            delivered_links=((0, 1), (0, 2), (1, 3), (2, 3)),
+        )
+        ratios = utility_ratios(result, self._forwarders())
+        assert ratios.node_utility == pytest.approx(1.0)
+        assert ratios.path_utility == pytest.approx(1.0)
+
+    def test_pruned_relay_halves_both(self):
+        result = make_result(
+            transmissions={0: 5, 1: 5, 2: 0, 3: 0},
+            delivered_links=((0, 1), (1, 3)),
+        )
+        ratios = utility_ratios(result, self._forwarders())
+        assert ratios.node_utility == pytest.approx(2 / 3)
+        assert ratios.path_utility == pytest.approx(0.5)
+
+    def test_destination_excluded_from_node_count(self):
+        result = make_result(transmissions={0: 5, 1: 5, 2: 5, 3: 100})
+        ratios = utility_ratios(result, self._forwarders())
+        assert ratios.node_utility == pytest.approx(1.0)
+
+
+class TestSummarize:
+    def test_statistics(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0])
+        assert summary.mean == pytest.approx(2.5)
+        assert summary.median == pytest.approx(2.5)
+        assert summary.minimum == 1.0
+        assert summary.maximum == 4.0
+        assert summary.count == 4
+
+    def test_cdf_coordinates(self):
+        summary = summarize([3.0, 1.0, 2.0])
+        assert summary.cdf_x == (1.0, 2.0, 3.0)
+        assert summary.cdf_y == pytest.approx((1 / 3, 2 / 3, 1.0))
+
+    def test_fraction_below(self):
+        summary = summarize([0.5, 1.5, 2.5, 3.5])
+        assert summary.fraction_below(2.0) == pytest.approx(0.5)
+        assert summary.fraction_below(0.0) == 0.0
+        assert summary.fraction_below(100.0) == 1.0
+
+    def test_empty(self):
+        summary = summarize([])
+        assert summary.count == 0
+        assert summary.fraction_below(1.0) == 0.0
+
+    @given(
+        st.lists(
+            st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=25)
+    def test_cdf_is_monotone(self, values):
+        summary = summarize(values)
+        assert list(summary.cdf_x) == sorted(summary.cdf_x)
+        assert list(summary.cdf_y) == sorted(summary.cdf_y)
+        assert summary.cdf_y[-1] == pytest.approx(1.0)
+
+
+class TestAsciiCdf:
+    def test_renders_label_and_bounds(self):
+        summary = summarize([1.0, 2.0, 5.0])
+        art = ascii_cdf(summary, label="test curve")
+        assert "test curve" in art
+        assert "*" in art
+
+    def test_empty_distribution(self):
+        assert "(no data)" in ascii_cdf(summarize([]), label="x")

@@ -1,0 +1,69 @@
+"""Step-size schedules."""
+
+import pytest
+
+from repro.optimization.subgradient import (
+    ConstantStepSize,
+    DiminishingStepSize,
+    project_nonnegative,
+)
+
+
+class TestDiminishing:
+    def test_paper_fig1_values(self):
+        # A=1, B=0.5, C=10 (the paper's Fig. 1 constants).
+        theta = DiminishingStepSize(a=1.0, b=0.5, c=10.0)
+        assert theta(0) == pytest.approx(2.0)
+        assert theta(1) == pytest.approx(1 / 10.5)
+
+    def test_decreasing(self):
+        theta = DiminishingStepSize()
+        values = [theta(t) for t in range(50)]
+        assert all(x > y for x, y in zip(values, values[1:]))
+
+    def test_divergent_sum(self):
+        # sum theta(t) must diverge (necessary for convergence from any
+        # start); check it keeps growing well past any bound over a
+        # window.
+        theta = DiminishingStepSize(a=1.0, b=1.0, c=1.0)
+        partial = sum(theta(t) for t in range(10_000))
+        assert partial > 9.0  # ~ln(10000)
+
+    def test_negative_iteration_rejected(self):
+        with pytest.raises(ValueError):
+            DiminishingStepSize()(-1)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiminishingStepSize(a=0)
+        with pytest.raises(ValueError):
+            DiminishingStepSize(b=0)
+        with pytest.raises(ValueError):
+            DiminishingStepSize(c=-1)
+
+    def test_c_zero_gives_constant(self):
+        theta = DiminishingStepSize(a=1.0, b=2.0, c=0.0)
+        assert theta(0) == theta(100) == pytest.approx(0.5)
+
+
+class TestConstant:
+    def test_constant_value(self):
+        theta = ConstantStepSize(0.1)
+        assert theta(0) == theta(1000) == 0.1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ConstantStepSize(0.0)
+        with pytest.raises(ValueError):
+            ConstantStepSize(0.1)(-2)
+
+
+class TestProjection:
+    def test_projects_negative_to_zero(self):
+        assert project_nonnegative(-3.5) == 0.0
+
+    def test_passes_positive(self):
+        assert project_nonnegative(1.25) == 1.25
+
+    def test_zero(self):
+        assert project_nonnegative(0.0) == 0.0

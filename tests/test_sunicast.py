@@ -1,0 +1,145 @@
+"""The sUnicast LP and its variants."""
+
+import pytest
+
+from repro.optimization.problem import session_graph_from_network
+from repro.optimization.sunicast import (
+    InfeasibleSessionError,
+    solve_min_cost,
+    solve_min_cost_routing,
+    solve_sunicast,
+    verify_feasibility,
+)
+from repro.topology.random_network import (
+    chain_topology,
+    diamond_topology,
+    fig1_sample_topology,
+)
+
+
+class TestSolveSunicast:
+    def test_chain_throughput_analytic(self):
+        # Chain 0-1-2-3, all p = 0.5, every node in one collision domain
+        # apart from ends: throughput is limited by the MAC constraint.
+        net = chain_topology((0.5, 0.5, 0.5))
+        graph = session_graph_from_network(net, 0, 3)
+        solution = solve_sunicast(graph)
+        assert 0.0 < solution.throughput < 0.5
+
+    def test_single_perfect_link(self):
+        net = chain_topology((1.0,))
+        graph = session_graph_from_network(net, 0, 1)
+        solution = solve_sunicast(graph)
+        # One hop at p=1: receiver constraint b_0 <= 1 gives gamma = 1.
+        assert solution.throughput == pytest.approx(1.0, abs=1e-6)
+
+    def test_diamond_uses_both_relays(self):
+        solution = solve_sunicast(
+            session_graph_from_network(diamond_topology(), 0, 3)
+        )
+        assert solution.flows[(0, 1)] > 1e-6
+        assert solution.flows[(0, 2)] > 1e-6
+        assert solution.broadcast_rates[3] == pytest.approx(0.0, abs=1e-9)
+
+    def test_diamond_beats_best_single_path(self):
+        # Multipath with broadcast must beat the best single path under
+        # the same MAC constraints; compute the single-path optimum by
+        # removing one relay.
+        full = solve_sunicast(session_graph_from_network(diamond_topology(), 0, 3))
+        single = solve_sunicast(
+            session_graph_from_network(
+                diamond_topology(p_sv=0.01, p_vt=0.01), 0, 3
+            )
+        )
+        assert full.throughput > single.throughput
+
+    def test_solution_is_feasible(self):
+        graph = session_graph_from_network(fig1_sample_topology(), 0, 5)
+        solution = solve_sunicast(graph)
+        violations = verify_feasibility(graph, solution)
+        assert all(v == 0.0 for v in violations.values()), violations
+
+    def test_union_constraint_binds_on_funnel(self):
+        # One relay fanning to two receivers: without (5b) the LP could
+        # count one broadcast twice.  gamma through the funnel must not
+        # exceed b_relay * union probability.
+        net = chain_topology((0.9, 0.6, 0.9), overhearing={(1, 3): 0.5})
+        graph = session_graph_from_network(net, 0, 3)
+        solution = solve_sunicast(graph)
+        outflow = solution.flows[(1, 2)] + solution.flows[(1, 3)]
+        union = graph.union_probability(1)
+        assert outflow <= solution.broadcast_rates[1] * union + 1e-6
+
+    def test_active_helpers(self):
+        solution = solve_sunicast(
+            session_graph_from_network(diamond_topology(), 0, 3)
+        )
+        assert set(solution.active_nodes()) >= {0}
+        assert all(x > 1e-6 for x in
+                   (solution.flows[l] for l in solution.active_links()))
+
+
+class TestMinCost:
+    def test_min_cost_scales_with_throughput(self):
+        graph = session_graph_from_network(diamond_topology(), 0, 3)
+        small = solve_min_cost(graph, throughput=1e-4)
+        large = solve_min_cost(graph, throughput=2e-4)
+        assert large.objective == pytest.approx(2 * small.objective, rel=1e-3)
+
+    def test_min_cost_routing_concentrates_on_best_path(self):
+        # Diamond with one clearly better path: routing-cost semantics
+        # should leave the bad relay unused.
+        net = diamond_topology(p_su=0.9, p_ut=0.9, p_sv=0.3, p_vt=0.3)
+        graph = session_graph_from_network(net, 0, 3)
+        solution = solve_min_cost_routing(graph)
+        assert solution.flows[(0, 2)] == pytest.approx(0.0, abs=1e-9)
+        assert solution.flows[(0, 1)] > 0
+
+    def test_min_cost_routing_rates_are_transmission_counts(self):
+        net = chain_topology((0.5, 0.5))
+        graph = session_graph_from_network(net, 0, 2)
+        gamma = 1e-3
+        solution = solve_min_cost_routing(graph, throughput=gamma)
+        # Each hop costs 1/0.5 = 2 transmissions per unit flow.
+        assert solution.broadcast_rates[0] == pytest.approx(2 * gamma, rel=1e-6)
+        assert solution.broadcast_rates[1] == pytest.approx(2 * gamma, rel=1e-6)
+
+    def test_min_cost_routing_cheaper_than_per_link_objective(self):
+        # The broadcast-shared variant can only do better or equal.
+        graph = session_graph_from_network(fig1_sample_topology(), 0, 5)
+        routing = solve_min_cost_routing(graph, throughput=1e-3)
+        shared = solve_min_cost(graph, throughput=1e-3)
+        assert shared.objective <= routing.objective + 1e-9
+
+    def test_invalid_throughput(self):
+        graph = session_graph_from_network(diamond_topology(), 0, 3)
+        with pytest.raises(ValueError):
+            solve_min_cost(graph, throughput=0)
+        with pytest.raises(ValueError):
+            solve_min_cost_routing(graph, throughput=-1)
+
+
+class TestVerifyFeasibility:
+    def test_detects_flow_violation(self):
+        graph = session_graph_from_network(diamond_topology(), 0, 3)
+        solution = solve_sunicast(graph)
+        broken = type(solution)(
+            throughput=solution.throughput + 0.5,
+            flows=solution.flows,
+            broadcast_rates=solution.broadcast_rates,
+            objective=0.0,
+        )
+        violations = verify_feasibility(graph, broken)
+        assert violations["flow_conservation"] > 0
+
+    def test_detects_mac_violation(self):
+        graph = session_graph_from_network(diamond_topology(), 0, 3)
+        solution = solve_sunicast(graph)
+        broken = type(solution)(
+            throughput=solution.throughput,
+            flows=solution.flows,
+            broadcast_rates={n: 1.0 for n in solution.broadcast_rates},
+            objective=0.0,
+        )
+        violations = verify_feasibility(graph, broken)
+        assert violations["mac"] > 0
