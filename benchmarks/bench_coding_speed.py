@@ -7,8 +7,6 @@ lookup-table baseline (full-size baseline runs take minutes); the
 speedup comparison runs both at the common smaller shape.
 """
 
-import pytest
-
 from repro.coding.gf256 import GF256
 from repro.coding.gf256_baseline import GF256Baseline
 from repro.experiments.coding_speed import measure_codec

@@ -1,0 +1,428 @@
+#!/usr/bin/env python
+"""Performance regression gate — the harness CI enforces.
+
+Measures throughput probes across the stack's hot paths:
+
+* ``codec_encode_mbps`` — raw GF(2^8) matrix encode ``X = R . B``;
+* ``codec_pipeline_mbps`` — encode + progressive Gauss-Jordan decode
+  (the Sec. 4 "coding efficiency" pipeline);
+* ``emulator_kslots_per_sec`` — slot loop of the packet-level emulator
+  on a MORE session (scheduler + channel + runtimes); *advisory*;
+* ``optimizer_iters_per_sec`` — outer iterations of the distributed
+  rate control (Table 1) on the Fig. 1 sample topology; *advisory*.
+
+Raw numbers are machine-dependent, so each probe is **normalized by a
+calibration workload** (numpy table-lookup + XOR — the same primitive
+the codec leans on) measured in the same process.  The committed
+baseline stores normalized values; a run regresses when its normalized
+throughput falls more than ``--tolerance`` (default 15%) below the
+baseline.  This first-order-cancels machine speed while still catching
+real slowdowns: a 20% slowdown injected into the GF(2^8) encode path
+moves the codec probes but not the calibration, and trips the gate
+(``tests/test_regression_gate.py`` proves it).
+
+The interpreter/scipy-bound probes (marked *advisory*, printed with a
+``~``) vary 20-40% between identical processes on shared runners —
+noise no single-run gate at a sane tolerance survives — so they are
+measured, reported and uploaded as artifacts, but only fail the run
+under ``--strict``.
+
+Usage::
+
+    python benchmarks/regression_check.py --quick                 # CI smoke
+    python benchmarks/regression_check.py                         # full probes
+    python benchmarks/regression_check.py --quick --write-baseline
+    python benchmarks/regression_check.py --tolerance 0.10
+
+Exit status: 0 = within tolerance, 1 = regression detected,
+2 = baseline missing for this mode (run ``--write-baseline`` first).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.coding.decoder import ProgressiveDecoder  # noqa: E402
+from repro.coding.encoder import SourceEncoder  # noqa: E402
+from repro.coding.generation import GenerationParams, random_generation  # noqa: E402
+from repro.coding.gf256 import GF256  # noqa: E402
+from repro.emulator.session import SessionConfig, run_coded_session  # noqa: E402
+from repro.optimization.problem import session_graph_from_network  # noqa: E402
+from repro.optimization.rate_control import RateControlAlgorithm  # noqa: E402
+from repro.protocols.more import plan_more  # noqa: E402
+from repro.routing.node_selection import NodeSelectionError  # noqa: E402
+from repro.topology.phy import lossy_phy  # noqa: E402
+from repro.topology.random_network import fig1_sample_topology, random_network  # noqa: E402
+from repro.util.rng import RngFactory  # noqa: E402
+
+SCHEMA_VERSION = 1
+DEFAULT_BASELINE = REPO_ROOT / "benchmarks" / "BENCH_baseline.json"
+DEFAULT_OUTPUT = Path("BENCH_local.json")
+DEFAULT_TOLERANCE = 0.15
+
+
+@dataclass(frozen=True)
+class ProbeResult:
+    """One probe's measurement.
+
+    ``advisory`` probes are interpreter/scipy-bound: their speed varies
+    20-40% between identical processes on shared runners, independent of
+    the calibration workload, so they are reported and uploaded but
+    excluded from the hard gate (``compare(strict=True)`` includes them).
+    """
+
+    name: str
+    raw: float  # machine-dependent throughput
+    unit: str
+    advisory: bool = False
+
+    def normalized(self, calibration: float) -> float:
+        """Throughput relative to the calibration workload."""
+        return self.raw / calibration
+
+
+@dataclass(frozen=True)
+class Regression:
+    """One metric that fell below the gate."""
+
+    name: str
+    baseline: float  # normalized
+    current: float  # normalized
+    change: float  # signed relative change, negative = slower
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: normalized {self.current:.4g} vs baseline "
+            f"{self.baseline:.4g} ({self.change:+.1%})"
+        )
+
+
+def _best_of(fn: Callable[[], float], rounds: int) -> float:
+    """Highest throughput over ``rounds`` invocations (noise rejection)."""
+    return max(fn() for _ in range(rounds))
+
+
+def calibrate(*, size: int = 1 << 20, inner: int = 16, rounds: int = 5) -> float:
+    """MB/s of the calibration workload: fancy table lookup + XOR.
+
+    This is the numpy primitive every GF(2^8) row kernel reduces to, so
+    probe/calibration ratios transfer across machines far better than
+    raw MB/s.
+    """
+    rng = np.random.default_rng(12345)
+    table = rng.integers(0, 256, size=256, dtype=np.uint8)
+    data = rng.integers(0, 256, size=size, dtype=np.uint8)
+
+    def run() -> float:
+        buffer = data.copy()
+        started = time.perf_counter()
+        for _ in range(inner):
+            np.bitwise_xor(buffer, table[buffer], out=buffer)
+        elapsed = time.perf_counter() - started
+        return size * inner / elapsed / 1e6
+
+    return _best_of(run, rounds)
+
+
+def probe_codec_encode(
+    *, blocks: int, block_size: int, inner: int, rounds: int
+) -> ProbeResult:
+    """Raw encode throughput: X = R . B over GF(2^8)."""
+    rng = np.random.default_rng(7)
+    coefficients = rng.integers(0, 256, size=(blocks, blocks), dtype=np.uint8)
+    generation = rng.integers(0, 256, size=(blocks, block_size), dtype=np.uint8)
+
+    def run() -> float:
+        started = time.perf_counter()
+        for _ in range(inner):
+            GF256.matmul(coefficients, generation)
+        elapsed = time.perf_counter() - started
+        return blocks * block_size * inner / elapsed / 1e6
+
+    return ProbeResult("codec_encode_mbps", _best_of(run, rounds), "MB/s")
+
+
+def probe_codec_pipeline(
+    *, blocks: int, block_size: int, inner: int, rounds: int
+) -> ProbeResult:
+    """Encode + progressive-decode pipeline throughput (Sec. 4)."""
+    rng = np.random.default_rng(11)
+    params = GenerationParams(blocks=blocks, block_size=block_size)
+    generation = random_generation(0, params, rng)
+
+    def run() -> float:
+        started = time.perf_counter()
+        for _ in range(inner):
+            encoder = SourceEncoder(1, generation, rng, field=GF256)
+            decoder = ProgressiveDecoder(blocks, block_size, field=GF256)
+            while not decoder.is_complete:
+                decoder.add_packet(encoder.next_packet())
+        elapsed = time.perf_counter() - started
+        return blocks * block_size * inner / elapsed / 1e6
+
+    return ProbeResult("codec_pipeline_mbps", _best_of(run, rounds), "MB/s")
+
+
+def _feasible_pair(network) -> Tuple[int, int]:
+    """A deterministic (source, destination) pair MORE can plan."""
+    for source in range(network.node_count):
+        for destination in range(network.node_count - 1, -1, -1):
+            if source == destination:
+                continue
+            try:
+                plan = plan_more(network, source, destination)
+            except NodeSelectionError:
+                continue
+            if len(plan.forwarders.nodes) >= 4:
+                return source, destination
+    raise RuntimeError("no feasible MORE session on the probe network")
+
+
+def probe_emulator(*, nodes: int, seconds: float, rounds: int) -> ProbeResult:
+    """Emulator slot-loop throughput in kilo-slots per wall second."""
+    rng = RngFactory(2008)
+    network = random_network(nodes, phy=lossy_phy(rng=rng.derive("phy")), rng=rng.derive("topology"))
+    source, destination = _feasible_pair(network)
+    plan = plan_more(network, source, destination)
+    config = SessionConfig(max_seconds=seconds, target_generations=0)
+
+    def run() -> float:
+        started = time.perf_counter()
+        result = run_coded_session(
+            network, plan, config=config, rng=rng.spawn("bench")
+        )
+        elapsed = time.perf_counter() - started
+        slots = result.duration / (config.coded_packet_bytes() / network.capacity)
+        return slots / elapsed / 1e3
+
+    return ProbeResult(
+        "emulator_kslots_per_sec", _best_of(run, rounds), "kslots/s", advisory=True
+    )
+
+
+def probe_optimizer(*, inner: int, rounds: int) -> ProbeResult:
+    """Distributed rate-control iterations per wall second (Fig. 1 graph)."""
+    network = fig1_sample_topology(capacity=1e5)
+    graph = session_graph_from_network(network, 0, 5)
+
+    def run() -> float:
+        iterations = 0
+        started = time.perf_counter()
+        for _ in range(inner):
+            iterations += RateControlAlgorithm(graph).run().iterations
+        elapsed = time.perf_counter() - started
+        return iterations / elapsed
+
+    return ProbeResult(
+        "optimizer_iters_per_sec", _best_of(run, rounds), "iter/s", advisory=True
+    )
+
+
+def collect(mode: str = "full") -> dict:
+    """Run every probe; returns the canonical result document."""
+    if mode not in ("quick", "full"):
+        raise ValueError(f"mode must be 'quick' or 'full', got {mode!r}")
+    quick = mode == "quick"
+    calibration = calibrate(rounds=5 if quick else 8)
+    probes: List[ProbeResult] = [
+        probe_codec_encode(
+            blocks=40,
+            block_size=1024,
+            inner=10 if quick else 40,
+            rounds=4 if quick else 3,
+        ),
+        # block_size stays >= 1024 in both modes: smaller blocks make the
+        # probe dominated by per-call interpreter overhead, whose speed
+        # varies ~±10% between processes (allocation alignment) and is
+        # not cancelled by the calibration workload.
+        probe_codec_pipeline(
+            blocks=16 if quick else 40,
+            block_size=1024,
+            inner=12 if quick else 10,
+            rounds=4 if quick else 3,
+        ),
+        probe_emulator(
+            nodes=30 if quick else 60,
+            seconds=120.0 if quick else 400.0,
+            rounds=2 if quick else 2,
+        ),
+        probe_optimizer(inner=10 if quick else 20, rounds=3 if quick else 3),
+    ]
+    return {
+        "schema": SCHEMA_VERSION,
+        "mode": mode,
+        "calibration_mbps": calibration,
+        "metrics": {
+            probe.name: {
+                "raw": probe.raw,
+                "normalized": probe.normalized(calibration),
+                "unit": probe.unit,
+                "advisory": probe.advisory,
+            }
+            for probe in probes
+        },
+    }
+
+
+def compare(
+    current: dict,
+    baseline: dict,
+    tolerance: float = DEFAULT_TOLERANCE,
+    *,
+    strict: bool = False,
+) -> List[Regression]:
+    """Normalized-throughput gate: flag drops beyond ``tolerance``.
+
+    Metrics present in only one document are ignored (adding a probe
+    must not fail the gate until the baseline is regenerated), and
+    advisory metrics are skipped unless ``strict``.
+    """
+    if tolerance <= 0:
+        raise ValueError(f"tolerance must be > 0, got {tolerance}")
+    regressions: List[Regression] = []
+    for name, record in sorted(current["metrics"].items()):
+        reference = baseline["metrics"].get(name)
+        if reference is None:
+            continue
+        if record.get("advisory") and not strict:
+            continue
+        base_value = reference["normalized"]
+        if base_value <= 0:
+            continue
+        change = (record["normalized"] - base_value) / base_value
+        if change < -tolerance:
+            regressions.append(
+                Regression(
+                    name=name,
+                    baseline=base_value,
+                    current=record["normalized"],
+                    change=change,
+                )
+            )
+    return regressions
+
+
+def load_baseline(path: Path, mode: str) -> Optional[dict]:
+    """The baseline section for ``mode``, or None when absent."""
+    if not path.exists():
+        return None
+    document = json.loads(path.read_text())
+    return document.get("modes", {}).get(mode)
+
+
+def write_baseline(path: Path, result: dict) -> None:
+    """Merge ``result`` into the per-mode baseline file."""
+    document: Dict[str, object] = {"schema": SCHEMA_VERSION, "modes": {}}
+    if path.exists():
+        document = json.loads(path.read_text())
+        document.setdefault("modes", {})
+    document["schema"] = SCHEMA_VERSION
+    document["modes"][result["mode"]] = result  # type: ignore[index]
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+
+
+def _print_report(result: dict, baseline: Optional[dict]) -> None:
+    print(
+        f"regression check ({result['mode']} mode, "
+        f"calibration {result['calibration_mbps']:.0f} MB/s)"
+    )
+    header = f"{'metric':28s} {'raw':>12s} {'normalized':>12s} {'baseline':>12s} {'change':>8s}"
+    print(header)
+    for name, record in sorted(result["metrics"].items()):
+        reference = (baseline or {"metrics": {}})["metrics"].get(name)
+        if reference:
+            base = reference["normalized"]
+            change = (record["normalized"] - base) / base if base > 0 else 0.0
+            tail = f"{base:12.4g} {change:+8.1%}"
+        else:
+            tail = f"{'—':>12s} {'—':>8s}"
+        marker = "~" if record.get("advisory") else " "
+        print(
+            f"{marker}{name:27s} {record['raw']:12.4g} {record['normalized']:12.4g} {tail}"
+        )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="benchmark regression gate (see module docstring)"
+    )
+    parser.add_argument(
+        "--quick", action="store_true", help="reduced shapes for CI smoke runs"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        default=DEFAULT_BASELINE,
+        help=f"baseline file (default {DEFAULT_BASELINE})",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=DEFAULT_OUTPUT,
+        help="where to write this run's results "
+        f"(default {DEFAULT_OUTPUT}; gitignored)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=DEFAULT_TOLERANCE,
+        help="allowed normalized-throughput drop (default 0.15 = 15%%)",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="record this run as the committed baseline for its mode",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="also gate on advisory (~) metrics, not just the stable ones",
+    )
+    args = parser.parse_args(argv)
+    if args.tolerance <= 0:
+        parser.error(f"--tolerance must be > 0, got {args.tolerance}")
+
+    mode = "quick" if args.quick else "full"
+    result = collect(mode)
+    args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+
+    if args.write_baseline:
+        write_baseline(args.baseline, result)
+        _print_report(result, None)
+        print(f"baseline ({mode}) written to {args.baseline}")
+        return 0
+
+    baseline = load_baseline(args.baseline, mode)
+    if baseline is None:
+        _print_report(result, None)
+        print(
+            f"no {mode}-mode baseline in {args.baseline}; "
+            "run with --write-baseline first",
+            file=sys.stderr,
+        )
+        return 2
+    _print_report(result, baseline)
+    regressions = compare(result, baseline, args.tolerance, strict=args.strict)
+    if regressions:
+        print(f"\nREGRESSION (> {args.tolerance:.0%} below baseline):")
+        for regression in regressions:
+            print(f"  {regression.describe()}")
+        return 1
+    print(f"\nok: all metrics within {args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

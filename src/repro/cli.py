@@ -15,11 +15,13 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro import obs
 from repro.emulator.session import (
     SessionConfig,
     run_coded_session,
     run_unicast_session,
 )
+from repro.emulator.trace import SessionTracer
 from repro.protocols.etx_routing import plan_etx_route
 from repro.protocols.more import plan_more
 from repro.protocols.oldmore import plan_oldmore
@@ -108,6 +110,23 @@ def _cmd_topology(args: argparse.Namespace) -> int:
     return 0
 
 
+def _format_metric(record: dict) -> str:
+    if record["kind"] == "histogram":
+        if record["count"] == 0:
+            return "histogram (empty)"
+        return (
+            f"count {record['count']}, mean {record['mean']:.3g}, "
+            f"p50 {record['p50']:.3g}, p99 {record['p99']:.3g}"
+        )
+    return f"{record['value']:.6g}"
+
+
+def _print_metrics(registry: "obs.MetricsRegistry") -> None:
+    print("metrics:")
+    for name, record in registry.snapshot().items():
+        print(f"  {name:32s} {_format_metric(record)}")
+
+
 def _cmd_session(args: argparse.Namespace) -> int:
     rng = RngFactory(args.seed)
     if args.topology:
@@ -122,22 +141,32 @@ def _cmd_session(args: argparse.Namespace) -> int:
         max_seconds=args.seconds,
         target_generations=args.generations,
     )
+    # --metrics turns on the global registry so every layer (engine, MAC,
+    # decoder, codec kernels) reports without per-call plumbing.
+    registry = obs.enable() if args.metrics else None
+    tracer = SessionTracer() if args.trace else None
     source, destination = args.source, args.destination
-    if args.protocol == "etx":
-        plan = plan_etx_route(network, source, destination)
-        result = run_unicast_session(
-            network, plan, config=config, rng=rng.spawn("session")
-        )
-    else:
-        planners = {"omnc": plan_omnc, "more": plan_more, "oldmore": plan_oldmore}
-        plan = planners[args.protocol](network, source, destination)
-        result = run_coded_session(
-            network,
-            plan,
-            config=config,
-            rng=rng.spawn("session"),
-            protocol_label=args.protocol,
-        )
+    try:
+        if args.protocol == "etx":
+            plan = plan_etx_route(network, source, destination)
+            result = run_unicast_session(
+                network, plan, config=config, rng=rng.spawn("session"),
+                tracer=tracer,
+            )
+        else:
+            planners = {"omnc": plan_omnc, "more": plan_more, "oldmore": plan_oldmore}
+            plan = planners[args.protocol](network, source, destination)
+            result = run_coded_session(
+                network,
+                plan,
+                config=config,
+                rng=rng.spawn("session"),
+                protocol_label=args.protocol,
+                tracer=tracer,
+            )
+    finally:
+        if registry is not None:
+            obs.disable()
     print(f"{args.protocol} session {source} -> {destination}:")
     print(f"  throughput:  {result.throughput_bps:.0f} B/s")
     print(f"  duration:    {result.duration:.1f} s emulated")
@@ -146,6 +175,11 @@ def _cmd_session(args: argparse.Namespace) -> int:
     else:
         print(f"  packets:     {result.packets_delivered} delivered")
     print(f"  mean queue:  {result.mean_queue():.2f} packets")
+    if tracer is not None:
+        lines = tracer.to_jsonl(args.trace)
+        print(f"  trace:       {lines} events -> {args.trace}")
+    if registry is not None:
+        _print_metrics(registry)
     return 0
 
 
@@ -189,6 +223,16 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--seconds", type=float, default=120.0)
     session.add_argument("--generations", type=int, default=4)
     session.add_argument("--seed", type=int, default=2008)
+    session.add_argument(
+        "--metrics",
+        action="store_true",
+        help="collect and print observability metrics for the run",
+    )
+    session.add_argument(
+        "--trace",
+        metavar="PATH",
+        help="export per-slot emulation events as JSON lines to PATH",
+    )
     session.set_defaults(func=_cmd_session)
     return parser
 

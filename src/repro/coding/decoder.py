@@ -25,6 +25,7 @@ from typing import List, Optional, Type
 
 import numpy as np
 
+from repro import obs
 from repro.coding import matrix as gfmatrix
 from repro.coding.gf256 import GF256
 from repro.coding.generation import Generation
@@ -32,7 +33,14 @@ from repro.coding.packet import CodedPacket
 
 
 class ProgressiveDecoder:
-    """On-the-fly Gauss-Jordan decoder for one generation."""
+    """On-the-fly Gauss-Jordan decoder for one generation.
+
+    When observability is on (an explicit ``registry`` or the global one
+    from :mod:`repro.obs`), the decoder reports under the ``decoder.``
+    namespace: innovative/redundant packet counters, a rank-progression
+    gauge, and — at the moment rank n is reached — the decode latency in
+    packets (total received) and the redundancy overhead.
+    """
 
     def __init__(
         self,
@@ -40,6 +48,7 @@ class ProgressiveDecoder:
         block_size: Optional[int] = None,
         *,
         field: Type = GF256,
+        registry: Optional[obs.MetricsRegistry] = None,
     ) -> None:
         if blocks <= 0:
             raise ValueError(f"blocks must be > 0, got {blocks}")
@@ -57,6 +66,20 @@ class ProgressiveDecoder:
         self._width = width
         self._received = 0
         self._innovative = 0
+        scope = obs.resolve(registry).attach("decoder")
+        self._m_innovative = scope.counter(
+            "innovative", "packets that raised the decoder rank"
+        )
+        self._m_redundant = scope.counter(
+            "redundant", "packets that reduced to zero and were discarded"
+        )
+        self._m_rank = scope.gauge("rank", "current rank of the active generation")
+        self._m_decode_packets = scope.histogram(
+            "packets_to_decode", "packets received when rank n was reached"
+        )
+        self._m_overhead = scope.histogram(
+            "overhead_packets", "non-innovative packets absorbed per decoded generation"
+        )
 
     @property
     def blocks(self) -> int:
@@ -117,6 +140,7 @@ class ProgressiveDecoder:
             raise ValueError(f"row width {row.size} != expected {self._width}")
         self._received += 1
         if self.is_complete:
+            self._m_redundant.inc()
             return False
         field = self._field
         # Forward-eliminate against existing pivots (rows sorted by pivot).
@@ -128,6 +152,7 @@ class ProgressiveDecoder:
         if nonzero.size == 0:
             # Non-innovative: the coding vector vanished.  (With payloads, a
             # consistent packet's payload vanishes too; we discard either way.)
+            self._m_redundant.inc()
             return False
         pivot_col = int(nonzero[0])
         pivot_value = int(row[pivot_col])
@@ -143,6 +168,11 @@ class ProgressiveDecoder:
         self._rows.insert(insert_at, row)
         self._pivot_cols.insert(insert_at, pivot_col)
         self._innovative += 1
+        self._m_innovative.inc()
+        self._m_rank.set(self._innovative)
+        if self._innovative >= self._blocks:
+            self._m_decode_packets.observe(self._received)
+            self._m_overhead.observe(self._received - self._innovative)
         return True
 
     def coefficient_matrix(self) -> np.ndarray:

@@ -29,6 +29,24 @@ _ORDER = FIELD_SIZE - 1  # multiplicative group order
 
 ArrayLike = Union[int, np.ndarray]
 
+# Observability hook: when repro.obs enables global collection it points
+# this at a counter's `inc` so the row kernels meter the bytes they
+# process.  A module-level `is None` check is the entire disabled-path
+# cost, keeping the kernels untouched for the 3-5x speedup claim.
+_BYTES_HOOK = None
+
+
+def set_bytes_hook(hook) -> None:
+    """Install (or clear, with None) the byte-metering callback.
+
+    The callback receives the number of payload bytes processed by one
+    kernel invocation.  Managed by :mod:`repro.obs`; exposed as a
+    function so the hook can be swapped without reaching into module
+    globals.
+    """
+    global _BYTES_HOOK
+    _BYTES_HOOK = hook
+
 
 def _build_tables() -> Tuple[np.ndarray, np.ndarray]:
     """Build exp/log tables for the Rijndael field.
@@ -119,6 +137,8 @@ class GF256:
         if coefficient == 0:
             return
         np.bitwise_xor(target, _MUL_TABLE[coefficient][source], out=target)
+        if _BYTES_HOOK is not None:
+            _BYTES_HOOK(target.size)
 
     @staticmethod
     def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:
@@ -146,6 +166,8 @@ class GF256:
             if nz.size == 0:
                 continue
             out[nz] ^= _MUL_TABLE[col[nz][:, None], b[j][None, :]]
+        if _BYTES_HOOK is not None:
+            _BYTES_HOOK(n * m)
         return out
 
     @staticmethod

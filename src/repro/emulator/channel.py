@@ -13,8 +13,6 @@ from __future__ import annotations
 
 from typing import Iterable, Tuple
 
-import numpy as np
-
 from repro.topology.graph import WirelessNetwork
 from repro.util.rng import RngLike, as_rng
 

@@ -23,6 +23,7 @@ from typing import Callable, Dict, List, Optional, Set, Tuple
 
 import numpy as np
 
+from repro import obs
 from repro.emulator.channel import LossyBroadcastChannel
 from repro.emulator.node import NodeRuntime, UnicastRuntime
 from repro.emulator.scheduler import ConflictGraph, IdealMacScheduler
@@ -62,6 +63,7 @@ class EmulationEngine:
         capture_rng: Optional[np.random.Generator] = None,
         interference: str = "blanking",
         tracer: Optional[SessionTracer] = None,
+        registry: Optional[obs.MetricsRegistry] = None,
     ) -> None:
         if slot_duration <= 0:
             raise ValueError(f"slot_duration must be > 0, got {slot_duration}")
@@ -77,7 +79,10 @@ class EmulationEngine:
             runtimes.keys(),
             two_hop=(interference == "conflict_free"),
         )
-        self._scheduler = IdealMacScheduler(self._conflicts, rng=scheduler_rng)
+        metrics = obs.resolve(registry)
+        self._scheduler = IdealMacScheduler(
+            self._conflicts, rng=scheduler_rng, registry=metrics
+        )
         self._rng = (
             capture_rng if capture_rng is not None else np.random.default_rng(1)
         )
@@ -86,6 +91,21 @@ class EmulationEngine:
         self._stats = EngineStats(
             queue_time_sum={n: 0.0 for n in runtimes},
             transmissions={n: 0 for n in runtimes},
+        )
+        scope = metrics.attach("emulator")
+        self._obs_enabled = scope.enabled
+        self._m_slots = scope.counter("slots", "emulation slots executed")
+        self._m_grants = scope.counter("grants", "MAC grants issued")
+        self._m_tx = scope.counter("transmissions", "packets put on the air")
+        self._m_deliveries = scope.counter(
+            "deliveries", "packets delivered to a receiver"
+        )
+        self._m_blanked = scope.counter(
+            "blanked", "receptions lost to hidden-terminal interference"
+        )
+        self._m_time = scope.gauge("virtual_time", "emulated seconds elapsed")
+        self._m_queue = scope.histogram(
+            "queue_depth", "per-node queue length sampled every slot"
         )
 
     @property
@@ -138,13 +158,20 @@ class EmulationEngine:
                 )
         self._deliver(granted)
         for node, runtime in self._runtimes.items():
-            self._stats.queue_time_sum[node] += runtime.queue_length()
+            queue_length = runtime.queue_length()
+            self._stats.queue_time_sum[node] += queue_length
+            if self._obs_enabled:
+                self._m_queue.observe(queue_length)
         self._stats.slots += 1
         self._stats.elapsed += self._dt
         self._stats.grants += len(granted)
+        self._m_slots.inc()
+        self._m_grants.inc(len(granted))
+        self._m_time.set(self._stats.elapsed)
         return granted
 
     def _record_tx(self, node: int) -> None:
+        self._m_tx.inc()
         if self._tracer is not None:
             self._tracer.record(
                 self._stats.slots, self._stats.elapsed, "tx", node
@@ -191,6 +218,7 @@ class EmulationEngine:
                 if target in granted_set:
                     continue  # half-duplex: a transmitter cannot receive
                 if self._interference == "blanking" and covered.get(target, 0) > 1:
+                    self._m_blanked.inc()
                     continue  # hidden-terminal collision at the receiver
                 if self._channel.unicast(node, target):
                     offers.setdefault(target, []).append((node, sequence))
@@ -206,7 +234,9 @@ class EmulationEngine:
                     if j in self._runtimes and j not in granted_set
                 ]
                 if self._interference == "blanking":
-                    receivers = [j for j in receivers if covered.get(j, 0) <= 1]
+                    clear = [j for j in receivers if covered.get(j, 0) <= 1]
+                    self._m_blanked.inc(len(receivers) - len(clear))
+                    receivers = clear
                 for j in self._channel.broadcast(node, receivers):
                     offers.setdefault(j, []).append((node, packet))
         # Phase 2: per-receiver resolution — at most one delivery per slot.
@@ -217,6 +247,7 @@ class EmulationEngine:
                 index = int(self._rng.integers(0, len(arrivals)))
                 sender, payload = arrivals[index]
             self._stats.delivered_links.add((sender, receiver))
+            self._m_deliveries.inc()
             if self._tracer is not None:
                 self._tracer.record(
                     self._stats.slots,

@@ -23,7 +23,7 @@ examples demonstrate full-payload operation end-to-end.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Dict, Optional, Tuple
+from typing import Callable, Deque, Optional, Tuple
 
 import numpy as np
 

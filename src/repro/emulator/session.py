@@ -13,9 +13,10 @@ offered load at half the channel capacity, throughput computed at each
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.coding.generation import (
     DEFAULT_BLOCK_SIZE,
     DEFAULT_BLOCKS_PER_GENERATION,
@@ -38,6 +39,7 @@ from repro.protocols.base import (
     CreditBroadcastPlan,
     UnicastPathPlan,
 )
+from repro.emulator.trace import SessionTracer
 from repro.topology.graph import Link, WirelessNetwork
 from repro.util.rng import RngFactory
 
@@ -195,8 +197,16 @@ def run_coded_session(
     config: Optional[SessionConfig] = None,
     rng: Optional[RngFactory] = None,
     protocol_label: Optional[str] = None,
+    registry: Optional[obs.MetricsRegistry] = None,
+    tracer: Optional[SessionTracer] = None,
 ) -> SessionResult:
-    """Emulate one network-coded session (OMNC, MORE or oldMORE plan)."""
+    """Emulate one network-coded session (OMNC, MORE or oldMORE plan).
+
+    ``registry``/``tracer`` flow through to the engine; when omitted the
+    engine falls back to the global :mod:`repro.obs` registry, so a
+    ``with obs.collecting():`` block instruments the whole session with
+    no further plumbing.
+    """
     config = config or SessionConfig()
     rng = rng or RngFactory(0)
     if isinstance(plan, CodedBroadcastPlan):
@@ -233,6 +243,8 @@ def run_coded_session(
         scheduler_rng=rng.derive("mac"),
         capture_rng=rng.derive("capture"),
         interference=config.interference,
+        registry=registry,
+        tracer=tracer,
     )
     tracker.engine = engine
 
@@ -435,6 +447,8 @@ def run_unicast_session(
     *,
     config: Optional[SessionConfig] = None,
     rng: Optional[RngFactory] = None,
+    registry: Optional[obs.MetricsRegistry] = None,
+    tracer: Optional[SessionTracer] = None,
 ) -> SessionResult:
     """Emulate one ETX best-path session with MAC retransmissions."""
     config = config or SessionConfig()
@@ -476,6 +490,8 @@ def run_unicast_session(
         scheduler_rng=rng.derive("mac"),
         capture_rng=rng.derive("capture"),
         interference=config.interference,
+        registry=registry,
+        tracer=tracer,
     )
     max_slots = int(config.max_seconds / slot)
     stats = engine.run(max_slots)

@@ -20,6 +20,7 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.emulator.session import (
     SessionConfig,
     SessionResult,
@@ -27,11 +28,7 @@ from repro.emulator.session import (
     run_unicast_session,
 )
 from repro.emulator.stats import throughput_gain, utility_ratios
-from repro.protocols.base import (
-    CodedBroadcastPlan,
-    CreditBroadcastPlan,
-    UnicastPathPlan,
-)
+from repro.protocols.base import UnicastPathPlan
 from repro.protocols.etx_routing import plan_etx_route
 from repro.protocols.more import plan_more
 from repro.protocols.oldmore import plan_oldmore
@@ -132,6 +129,10 @@ class CampaignResult:
     network: WirelessNetwork
     records: List[SessionRecord] = field(default_factory=list)
     wall_seconds: float = 0.0
+    # Snapshot of the campaign's metrics registry (empty when collection
+    # was off): emulator/mac/decoder counters aggregated over every
+    # session of every protocol.
+    metrics: Dict[str, dict] = field(default_factory=dict)
 
     def gains(self, protocol: str) -> List[float]:
         """Finite throughput gains for ``protocol`` across sessions."""
@@ -219,6 +220,7 @@ def run_session(
     etx_plan: UnicastPathPlan,
     session_config: SessionConfig,
     rng: RngFactory,
+    registry: Optional[obs.MetricsRegistry] = None,
 ) -> SessionRecord:
     """Run all four protocols on one session."""
     results: Dict[str, SessionResult] = {}
@@ -227,18 +229,21 @@ def run_session(
     results["etx"] = run_unicast_session(
         network, etx_plan, config=session_config,
         rng=rng.spawn(f"etx-{source}-{destination}"),
+        registry=registry,
     )
     omnc_report = plan_omnc_detailed(network, source, destination)
     plans["omnc"] = omnc_report.plan
     results["omnc"] = run_coded_session(
         network, omnc_report.plan, config=session_config,
         rng=rng.spawn(f"omnc-{source}-{destination}"),
+        registry=registry,
     )
     more_plan = plan_more(network, source, destination)
     plans["more"] = more_plan
     results["more"] = run_coded_session(
         network, more_plan, config=session_config,
         rng=rng.spawn(f"more-{source}-{destination}"),
+        registry=registry,
     )
     oldmore_plan = plan_oldmore(network, source, destination)
     plans["oldmore"] = oldmore_plan
@@ -246,6 +251,7 @@ def run_session(
         network, oldmore_plan, config=session_config,
         rng=rng.spawn(f"oldmore-{source}-{destination}"),
         protocol_label="oldmore",
+        registry=registry,
     )
     hop_count = etx_plan.hop_count
     return SessionRecord(
@@ -257,9 +263,22 @@ def run_session(
     )
 
 
-def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
-    """Run the full four-protocol campaign."""
+def run_campaign(
+    config: Optional[CampaignConfig] = None,
+    *,
+    registry: Optional[obs.MetricsRegistry] = None,
+) -> CampaignResult:
+    """Run the full four-protocol campaign.
+
+    Pass an enabled :class:`repro.obs.MetricsRegistry` (or enable the
+    global one) to aggregate emulator/decoder/MAC metrics across every
+    session; the snapshot lands in :attr:`CampaignResult.metrics`.
+    """
     config = config or CampaignConfig()
+    metrics = obs.resolve(registry)
+    sessions_counter = metrics.counter(
+        "campaign.sessions", "four-protocol sessions completed"
+    )
     started = time.time()
     rng, network = build_network(config)
     sessions = pick_sessions(config, network)
@@ -267,8 +286,15 @@ def run_campaign(config: Optional[CampaignConfig] = None) -> CampaignResult:
     campaign = CampaignResult(config=config, network=network)
     for source, destination, etx_plan in sessions:
         record = run_session(
-            network, source, destination, etx_plan, session_config, rng
+            network, source, destination, etx_plan, session_config, rng,
+            registry=registry,
         )
         campaign.records.append(record)
+        sessions_counter.inc()
     campaign.wall_seconds = time.time() - started
+    if metrics.enabled:
+        metrics.gauge(
+            "campaign.wall_seconds", "wall-clock time of the campaign"
+        ).set(campaign.wall_seconds)
+        campaign.metrics = metrics.snapshot()
     return campaign

@@ -14,8 +14,9 @@ Run as a module::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Optional
 
+from repro import obs
 from repro.emulator.stats import DistributionSummary, summarize
 from repro.experiments.common import (
     CampaignConfig,
@@ -42,31 +43,49 @@ class ConvergenceStats:
 def run_convergence_stats(
     config: Optional[CampaignConfig] = None,
     rate_config: Optional[RateControlConfig] = None,
+    *,
+    registry: Optional[obs.MetricsRegistry] = None,
 ) -> ConvergenceStats:
-    """Run rate control on every campaign session graph."""
+    """Run rate control on every campaign session graph.
+
+    Per-session bookkeeping lives in an observability registry (a
+    private enabled one unless the caller supplies their own), so the
+    same numbers are available both as the returned summary and as
+    ``optimizer.session_*`` metrics.
+    """
     if config is None:
         config = CampaignConfig.from_environment(quality="lossy")
+    if registry is not None and registry.enabled:
+        metrics = registry
+    else:
+        metrics = obs.MetricsRegistry()
+    iterations = metrics.histogram(
+        "optimizer.session_iterations", "outer iterations per session graph"
+    )
+    lp_ratio = metrics.histogram(
+        "optimizer.session_lp_ratio", "recovered gamma over the LP optimum"
+    )
+    converged_counter = metrics.counter(
+        "optimizer.sessions_converged", "sessions that met the stopping rule"
+    )
     _, network = build_network(config)
     sessions = pick_sessions(config, network)
-    iteration_counts: List[float] = []
-    ratios: List[float] = []
-    converged = 0
     for source, destination, _ in sessions:
         forwarders = select_forwarders(network, source, destination)
         graph = session_graph_from_selection(network, forwarders)
         lp = solve_sunicast(graph)
         if lp.throughput <= 1e-9:
             continue
-        result = RateControlAlgorithm(graph, rate_config).run()
-        iteration_counts.append(float(result.iterations))
-        ratios.append(result.throughput / lp.throughput)
+        result = RateControlAlgorithm(graph, rate_config, registry=registry).run()
+        iterations.observe(float(result.iterations))
+        lp_ratio.observe(result.throughput / lp.throughput)
         if result.converged:
-            converged += 1
-    total = len(iteration_counts)
+            converged_counter.inc()
+    total = iterations.count
     return ConvergenceStats(
-        iterations=summarize(iteration_counts),
-        lp_ratio=summarize(ratios),
-        converged_fraction=converged / total if total else 0.0,
+        iterations=summarize(iterations.samples()),
+        lp_ratio=summarize(lp_ratio.samples()),
+        converged_fraction=converged_counter.value / total if total else 0.0,
     )
 
 

@@ -18,6 +18,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.optimization.problem import session_graph_from_network
 from repro.optimization.rate_control import (
     RateControlAlgorithm,
@@ -54,12 +55,21 @@ def run_fig1(
     config: Optional[RateControlConfig] = None,
     *,
     settle_tolerance: float = 0.05,
+    registry: Optional[obs.MetricsRegistry] = None,
+    tracer: Optional[obs.EventTracer] = None,
 ) -> ConvergenceSeries:
-    """Produce the Fig. 1 convergence series."""
+    """Produce the Fig. 1 convergence series.
+
+    An ``EventTracer`` additionally captures the full dual-price
+    trajectory (``rate_control.iteration`` records) behind the plotted
+    primal rates.
+    """
     network = fig1_sample_topology(capacity=FIG1_CAPACITY)
     graph = session_graph_from_network(network, 0, 5)
     lp = solve_sunicast(graph)
-    result = RateControlAlgorithm(graph, config).run()
+    result = RateControlAlgorithm(
+        graph, config, registry=registry, tracer=tracer
+    ).run()
     return _series_from_result(graph.capacity, lp.throughput, result, settle_tolerance)
 
 
@@ -115,7 +125,7 @@ def main() -> None:
     print("Figure 1 — distributed rate control convergence")
     print(
         f"sample topology, capacity {FIG1_CAPACITY:.0f} B/s, "
-        f"step size theta(t) = 1/(0.5 + 0.1 t)"
+        "step size theta(t) = 1/(0.5 + 0.1 t)"
     )
     header = "iter " + " ".join(f"b[{n}] (B/s)" for n in nodes)
     print(header)

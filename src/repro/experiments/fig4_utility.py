@@ -14,7 +14,7 @@ Run as a module::
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
 from repro.emulator.stats import DistributionSummary, ascii_cdf, summarize
 from repro.experiments.common import (

@@ -1,0 +1,161 @@
+"""Structured event tracing with JSON-lines export.
+
+Where :mod:`repro.obs.metrics` aggregates, the tracer keeps *individual*
+events: one :class:`TraceRecord` per occurrence, carrying a kind, a
+monotonically increasing sequence number, and arbitrary scalar fields.
+This is what the optimizer uses to expose its full dual-price
+trajectories (lambda/beta per iteration — the raw material of the
+paper's Fig. 1) and what offline analysis consumes through the JSONL
+round-trip.
+
+The log is bounded: past ``capacity`` the oldest records are dropped and
+counted, so tracing a paper-scale campaign cannot exhaust memory while
+the recent window stays intact.  Like the metric instruments, a
+:data:`NULL_TRACER` absorbs events for free so instrumented code can
+hold a tracer unconditionally.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter as TallyCounter
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple, Union
+
+__all__ = ["EventTracer", "NULL_TRACER", "TraceRecord"]
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """One traced event.
+
+    Attributes:
+        seq: 0-based global sequence number (survives eviction — the
+            first retained record of a saturated tracer has seq > 0).
+        kind: event type, a free-form dotted string
+            (e.g. ``"rate_control.iteration"``).
+        fields: scalar payload (numbers / strings / bools).
+    """
+
+    seq: int
+    kind: str
+    fields: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        """JSON-compatible representation."""
+        record = {"seq": self.seq, "kind": self.kind}
+        record.update(self.fields)
+        return record
+
+    @staticmethod
+    def from_dict(record: dict) -> "TraceRecord":
+        """Inverse of :meth:`as_dict`."""
+        payload = {
+            key: value
+            for key, value in record.items()
+            if key not in ("seq", "kind")
+        }
+        return TraceRecord(seq=record["seq"], kind=record["kind"], fields=payload)
+
+
+class EventTracer:
+    """Bounded structured event log."""
+
+    def __init__(self, capacity: int = 100_000) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self._capacity = capacity
+        self._records: List[TraceRecord] = []
+        self._seq = 0
+        self.dropped = 0
+
+    @property
+    def enabled(self) -> bool:
+        """False only on :data:`NULL_TRACER`."""
+        return True
+
+    @property
+    def capacity(self) -> int:
+        """Maximum retained records."""
+        return self._capacity
+
+    def emit(self, kind: str, **fields) -> None:
+        """Record one event with scalar ``fields``."""
+        if not kind:
+            raise ValueError("event kind must be non-empty")
+        self._records.append(TraceRecord(self._seq, kind, fields))
+        self._seq += 1
+        if len(self._records) > self._capacity:
+            overflow = len(self._records) - self._capacity
+            del self._records[:overflow]
+            self.dropped += overflow
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def records(
+        self, *, kind: Optional[str] = None
+    ) -> Iterator[TraceRecord]:
+        """Iterate retained records, optionally filtered by kind."""
+        for record in self._records:
+            if kind is None or record.kind == kind:
+                yield record
+
+    def last(self, kind: Optional[str] = None) -> Optional[TraceRecord]:
+        """Most recent (matching) record, or None."""
+        for record in reversed(self._records):
+            if kind is None or record.kind == kind:
+                return record
+        return None
+
+    def summary(self) -> Dict[str, int]:
+        """Retained record counts per kind."""
+        return dict(TallyCounter(record.kind for record in self._records))
+
+    def series(self, kind: str, field_name: str) -> List[float]:
+        """One field's values across all retained records of ``kind``.
+
+        Records missing the field are skipped — this is how experiment
+        code pulls a trajectory (e.g. ``lambda_max`` per iteration) out
+        of the trace without touching the optimizer's internals.
+        """
+        values = []
+        for record in self.records(kind=kind):
+            if field_name in record.fields:
+                values.append(record.fields[field_name])
+        return values
+
+    def to_jsonl(self, path: Union[str, Path]) -> int:
+        """Write retained records as JSON lines; returns the line count."""
+        path = Path(path)
+        with path.open("w") as handle:
+            for record in self._records:
+                handle.write(json.dumps(record.as_dict()) + "\n")
+        return len(self._records)
+
+    @staticmethod
+    def read_jsonl(path: Union[str, Path]) -> Tuple[TraceRecord, ...]:
+        """Load records previously written by :meth:`to_jsonl`."""
+        records = []
+        for line in Path(path).read_text().splitlines():
+            if line.strip():
+                records.append(TraceRecord.from_dict(json.loads(line)))
+        return tuple(records)
+
+
+class _NullTracer(EventTracer):
+    """Shared no-op tracer; ``emit`` discards everything."""
+
+    def __init__(self) -> None:
+        super().__init__(capacity=1)
+
+    @property
+    def enabled(self) -> bool:
+        return False
+
+    def emit(self, kind: str, **fields) -> None:
+        pass
+
+
+NULL_TRACER = _NullTracer()

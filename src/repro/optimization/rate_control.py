@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import obs
 from repro.optimization.problem import SessionGraph
 from repro.optimization.sub1_routing import Sub1Router
 from repro.optimization.sub2_rates import Sub2RateAllocator
@@ -140,12 +141,22 @@ class RateControlResult:
 
 
 class RateControlAlgorithm:
-    """Run Table 1 on one session graph."""
+    """Run Table 1 on one session graph.
+
+    With observability on, each outer iteration is exposed twice over:
+    aggregates under the ``optimizer.`` namespace (iteration counter,
+    step-size gauge, dual-price gauges, primal-residual histogram) and a
+    full ``rate_control.iteration`` trace record carrying the lambda /
+    beta / mu trajectories — the machine-readable form of Fig. 1.
+    """
 
     def __init__(
         self,
         graph: SessionGraph,
         config: Optional[RateControlConfig] = None,
+        *,
+        registry: Optional[obs.MetricsRegistry] = None,
+        tracer: Optional[obs.EventTracer] = None,
     ) -> None:
         self._graph = graph
         self._config = config or RateControlConfig()
@@ -169,6 +180,23 @@ class RateControlAlgorithm:
             node: 0.0 for node in graph.transmitters()
         }
         self._iteration = 0
+        scope = obs.resolve(registry).attach("optimizer")
+        self._tracer = obs.resolve_tracer(tracer)
+        self._observing = scope.enabled or self._tracer.enabled
+        self._m_iterations = scope.counter(
+            "iterations", "outer subgradient iterations executed"
+        )
+        self._m_theta = scope.gauge("step_size", "current step size theta(t)")
+        self._m_lambda_max = scope.gauge(
+            "lambda_max", "largest link price lambda_ij"
+        )
+        self._m_beta_max = scope.gauge(
+            "beta_max", "largest congestion price beta_i"
+        )
+        self._m_residual = scope.histogram(
+            "primal_residual",
+            "worst violation of x_ij <= b_i p_ij at the recovered primal point",
+        )
 
     @property
     def prices(self) -> Dict[Link, float]:
@@ -217,6 +245,8 @@ class RateControlAlgorithm:
                 self._union_prices[node] - theta * surplus
             )
         self._iteration += 1
+        if self._observing:
+            self._observe_iteration(theta, sub2.congestion_prices)
 
     def run(self) -> RateControlResult:
         """Iterate to convergence and return the recovered allocation."""
@@ -258,6 +288,43 @@ class RateControlAlgorithm:
             rate_history=tuple(rate_history),
             gamma_history=tuple(gamma_history),
             capacity=self._graph.capacity,
+        )
+
+    def _observe_iteration(
+        self, theta: float, congestion_prices: Dict[int, float]
+    ) -> None:
+        """Publish one iteration's dual state and primal-recovery residual."""
+        flows = self._sub1.recovered_flows
+        rates = self._sub2.recovered_rates
+        residual = 0.0
+        for link, flow in flows.items():
+            slack = flow - rates.get(link[0], 0.0) * self._graph.probability[link]
+            if slack > residual:
+                residual = slack
+        lambda_values = self._prices.values()
+        beta_values = congestion_prices.values()
+        mu_values = self._union_prices.values()
+        self._m_iterations.inc()
+        self._m_theta.set(theta)
+        self._m_lambda_max.set(max(lambda_values, default=0.0))
+        self._m_beta_max.set(max(beta_values, default=0.0))
+        self._m_residual.observe(residual)
+        self._tracer.emit(
+            "rate_control.iteration",
+            t=self._iteration,
+            theta=theta,
+            lambda_mean=(
+                sum(lambda_values) / len(self._prices) if self._prices else 0.0
+            ),
+            lambda_max=max(lambda_values, default=0.0),
+            beta_mean=(
+                sum(beta_values) / len(congestion_prices)
+                if congestion_prices
+                else 0.0
+            ),
+            beta_max=max(beta_values, default=0.0),
+            mu_max=max(mu_values, default=0.0),
+            residual=residual,
         )
 
     def _recovered_throughput(self) -> float:

@@ -1,6 +1,5 @@
 """Integration: the emulation engine and session drivers."""
 
-import numpy as np
 import pytest
 
 from repro.emulator.session import (

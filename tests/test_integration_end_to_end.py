@@ -7,7 +7,6 @@ byte-compared at the destination.
 """
 
 import numpy as np
-import pytest
 
 from repro.coding.decoder import ProgressiveDecoder
 from repro.coding.encoder import RelayReEncoder, SourceEncoder

@@ -2,7 +2,6 @@
 
 import pytest
 
-from repro.routing.etx import path_etx
 from repro.routing.node_selection import (
     NodeSelectionError,
     select_forwarders,

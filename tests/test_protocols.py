@@ -10,7 +10,6 @@ from repro.protocols.base import (
 from repro.protocols.etx_routing import plan_etx_route, predicted_etx_throughput
 from repro.protocols.more import (
     compute_expected_transmissions,
-    compute_tx_credits,
     effective_forwarders,
     plan_more,
     total_expected_transmissions,

@@ -4,7 +4,6 @@ import pytest
 
 from repro.optimization.problem import session_graph_from_network
 from repro.optimization.sunicast import (
-    InfeasibleSessionError,
     solve_min_cost,
     solve_min_cost_routing,
     solve_sunicast,
