@@ -58,7 +58,15 @@ from repro.coding.decoder import ProgressiveDecoder  # noqa: E402
 from repro.coding.encoder import SourceEncoder  # noqa: E402
 from repro.coding.generation import GenerationParams, random_generation  # noqa: E402
 from repro.coding.gf256 import GF256  # noqa: E402
+from repro.emulator.channel import LossyBroadcastChannel  # noqa: E402
+from repro.emulator.engine import EmulationEngine  # noqa: E402
+from repro.emulator.node import (  # noqa: E402
+    FlowDestinationRuntime,
+    FlowRelayRuntime,
+    FlowSourceRuntime,
+)
 from repro.emulator.session import SessionConfig, run_coded_session  # noqa: E402
+from repro.topology.graph import WirelessNetwork  # noqa: E402
 from repro.optimization.problem import session_graph_from_network  # noqa: E402
 from repro.optimization.rate_control import RateControlAlgorithm  # noqa: E402
 from repro.protocols.more import plan_more  # noqa: E402
@@ -157,7 +165,12 @@ def probe_codec_encode(
 def probe_codec_pipeline(
     *, blocks: int, block_size: int, inner: int, rounds: int
 ) -> ProbeResult:
-    """Encode + progressive-decode pipeline throughput (Sec. 4)."""
+    """Encode + progressive-decode pipeline throughput (Sec. 4).
+
+    Feeds the decoder generation-sized batches through the block entry
+    points (``next_packets`` / ``add_packets``) — the batch-first shape
+    the harnesses use since the contiguous-kernel rewrite.
+    """
     rng = np.random.default_rng(11)
     params = GenerationParams(blocks=blocks, block_size=block_size)
     generation = random_generation(0, params, rng)
@@ -168,11 +181,42 @@ def probe_codec_pipeline(
             encoder = SourceEncoder(1, generation, rng, field=GF256)
             decoder = ProgressiveDecoder(blocks, block_size, field=GF256)
             while not decoder.is_complete:
-                decoder.add_packet(encoder.next_packet())
+                decoder.add_packets(encoder.next_packets(blocks))
         elapsed = time.perf_counter() - started
         return blocks * block_size * inner / elapsed / 1e6
 
     return ProbeResult("codec_pipeline_mbps", _best_of(run, rounds), "MB/s")
+
+
+def probe_codec_decode_batch(
+    *, blocks: int, block_size: int, batch: int, inner: int, rounds: int
+) -> ProbeResult:
+    """Batched progressive-decode throughput: ``add_rows`` over batches.
+
+    Pre-encodes a redundant stream of coded rows once, then measures only
+    the decoder's batch elimination (forward-eliminate + back-substitute
+    per batch), isolating the contiguous-matrix kernel from encoding.
+    """
+    rng = np.random.default_rng(13)
+    coefficients = rng.integers(
+        0, 256, size=(blocks + batch, blocks), dtype=np.uint8
+    )
+    generation = rng.integers(0, 256, size=(blocks, block_size), dtype=np.uint8)
+    payloads = GF256.matmul(coefficients, generation)
+    rows = np.concatenate([coefficients, payloads], axis=1)
+
+    def run() -> float:
+        started = time.perf_counter()
+        for _ in range(inner):
+            decoder = ProgressiveDecoder(blocks, block_size, field=GF256)
+            for start in range(0, rows.shape[0], batch):
+                if decoder.is_complete:
+                    break
+                decoder.add_rows(rows[start : start + batch])
+        elapsed = time.perf_counter() - started
+        return blocks * block_size * inner / elapsed / 1e6
+
+    return ProbeResult("codec_decode_batch_mbps", _best_of(run, rounds), "MB/s")
 
 
 def _feasible_pair(network) -> Tuple[int, int]:
@@ -209,6 +253,67 @@ def probe_emulator(*, nodes: int, seconds: float, rounds: int) -> ProbeResult:
 
     return ProbeResult(
         "emulator_kslots_per_sec", _best_of(run, rounds), "kslots/s", advisory=True
+    )
+
+
+def probe_emulator_slot_loop(*, relays: int, slots: int, rounds: int) -> ProbeResult:
+    """Pure engine slot-loop throughput: ``step()`` on a fixed line session.
+
+    Unlike ``emulator_kslots_per_sec`` this skips MORE planning and the
+    session driver entirely — it times nothing but the scheduler /
+    channel / runtime slot loop on a hand-built relay line, so it moves
+    only when the engine's per-slot hot path does.
+    """
+    node_count = relays + 2
+    positions = np.array([[float(i), 0.0] for i in range(node_count)])
+    probabilities = {}
+    for i in range(node_count - 1):
+        probabilities[(i, i + 1)] = 0.8
+        probabilities[(i + 1, i)] = 0.8
+    network = WirelessNetwork(
+        positions, probabilities, communication_range=1.2, capacity=2e4
+    )
+    packet_bytes = 1064
+    blocks = 16
+
+    def build() -> EmulationEngine:
+        runtimes = {
+            0: FlowSourceRuntime(
+                0, 1, blocks, rate_bps=1e4, packet_bytes=packet_bytes
+            ),
+            node_count - 1: FlowDestinationRuntime(
+                node_count - 1, 1, blocks, on_decoded=lambda _gen: None
+            ),
+        }
+        for relay in range(1, node_count - 1):
+            runtimes[relay] = FlowRelayRuntime(
+                relay,
+                1,
+                blocks,
+                packet_bytes,
+                mode="rate",
+                rate_bps=8e3,
+                upstream=(relay - 1,),
+            )
+        channel = LossyBroadcastChannel(network, rng=np.random.default_rng(21))
+        return EmulationEngine(
+            network,
+            runtimes,
+            channel,
+            slot_duration=packet_bytes / network.capacity,
+            scheduler_rng=np.random.default_rng(22),
+            capture_rng=np.random.default_rng(23),
+        )
+
+    def run() -> float:
+        engine = build()
+        started = time.perf_counter()
+        engine.run(slots)
+        elapsed = time.perf_counter() - started
+        return slots / elapsed / 1e3
+
+    return ProbeResult(
+        "emulator_slot_loop", _best_of(run, rounds), "kslots/s", advisory=True
     )
 
 
@@ -253,10 +358,22 @@ def collect(mode: str = "full") -> dict:
             inner=12 if quick else 10,
             rounds=4 if quick else 3,
         ),
+        probe_codec_decode_batch(
+            blocks=16 if quick else 40,
+            block_size=1024,
+            batch=8 if quick else 16,
+            inner=20 if quick else 12,
+            rounds=4 if quick else 3,
+        ),
         probe_emulator(
             nodes=30 if quick else 60,
             seconds=120.0 if quick else 400.0,
-            rounds=2 if quick else 2,
+            rounds=4 if quick else 3,
+        ),
+        probe_emulator_slot_loop(
+            relays=4,
+            slots=2000 if quick else 6000,
+            rounds=3 if quick else 2,
         ),
         probe_optimizer(inner=10 if quick else 20, rounds=3 if quick else 3),
     ]
@@ -362,6 +479,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--quick", action="store_true", help="reduced shapes for CI smoke runs"
     )
     parser.add_argument(
+        "--mode",
+        choices=("quick", "full"),
+        default=None,
+        help="probe mode; --mode quick is equivalent to --quick",
+    )
+    parser.add_argument(
         "--baseline",
         type=Path,
         default=DEFAULT_BASELINE,
@@ -394,7 +517,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.tolerance <= 0:
         parser.error(f"--tolerance must be > 0, got {args.tolerance}")
 
-    mode = "quick" if args.quick else "full"
+    if args.mode is not None:
+        mode = args.mode
+    else:
+        mode = "quick" if args.quick else "full"
     result = collect(mode)
     args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
 

@@ -15,13 +15,24 @@ separate inversion step is needed.  This is what lets the destination
 ACK the instant decodability is reached, which the paper credits with
 "alleviating the delay effects caused by network coding".
 
+The augmented matrix lives in one preallocated contiguous ``uint8``
+ndarray (rows 0..rank-1 valid, sorted by pivot column) with a parallel
+pivot-column index vector.  The elimination kernel is batch-first:
+:meth:`ProgressiveDecoder.add_rows` forward-eliminates a whole batch
+against every existing pivot with a single GF(2^8) matrix product
+(valid because the matrix is *reduced*, so all pivots can be cleared at
+once), extracts new pivots with one gather-based ``addmul_rows`` sweep
+per pivot, and back-substitutes all new pivots into the old rows with a
+second matrix product.  The single-packet :meth:`add_packet` /
+:meth:`add_row` API is a one-row batch.
+
 :class:`BlockDecoder` is the contrast case for the ablation benchmark: it
 buffers packets and decodes with one matrix inversion at the end.
 """
 
 from __future__ import annotations
 
-from typing import List, Optional, Type
+from typing import Iterable, List, Optional, Sequence, Type
 
 import numpy as np
 
@@ -58,11 +69,11 @@ class ProgressiveDecoder:
         self._block_size = block_size
         self._field = field
         width = blocks + (block_size or 0)
-        # Augmented rows [coding vector | payload], kept in RREF.  Row i is
-        # the row whose pivot column is self._pivot_cols[i]; rows are kept
-        # sorted by pivot column.
-        self._rows: List[np.ndarray] = []
-        self._pivot_cols: List[int] = []
+        # Contiguous augmented matrix [R | X]: rows 0..rank-1 are valid,
+        # kept in RREF and sorted by pivot column.  The parallel pivot
+        # index vector records each valid row's pivot column.
+        self._matrix = np.zeros((blocks, width), dtype=np.uint8)
+        self._pivot_cols = np.zeros(blocks, dtype=np.intp)
         self._width = width
         self._received = 0
         self._innovative = 0
@@ -113,6 +124,31 @@ class ProgressiveDecoder:
         a ``block_size`` the packet must carry a payload of that size;
         otherwise the decoder runs in coefficient-only mode.
         """
+        self._check_packet(packet)
+        if self._block_size is not None:
+            row = np.concatenate([packet.coefficients, packet.payload])
+        else:
+            row = packet.coefficients
+        return self.add_row(row)
+
+    def add_packets(self, packets: Sequence[CodedPacket]) -> np.ndarray:
+        """Absorb a batch of packets in order; returns per-packet verdicts.
+
+        Equivalent to calling :meth:`add_packet` on each element, but the
+        whole batch goes through one invocation of the elimination
+        kernel.
+        """
+        if not len(packets):
+            return np.zeros(0, dtype=bool)
+        batch = np.empty((len(packets), self._width), dtype=np.uint8)
+        for index, packet in enumerate(packets):
+            self._check_packet(packet)
+            batch[index, : self._blocks] = packet.coefficients
+            if self._block_size is not None:
+                batch[index, self._blocks :] = packet.payload
+        return self.add_rows(batch, copy=False)
+
+    def _check_packet(self, packet: CodedPacket) -> None:
         if packet.blocks != self._blocks:
             raise ValueError(
                 f"packet generation size {packet.blocks} != decoder's {self._blocks}"
@@ -124,62 +160,112 @@ class ProgressiveDecoder:
                 raise ValueError(
                     f"payload size {packet.block_size} != decoder's {self._block_size}"
                 )
-            row = np.concatenate([packet.coefficients, packet.payload]).astype(np.uint8)
-        else:
-            row = packet.coefficients.copy()
-        return self.add_row(row)
 
     def add_row(self, row: np.ndarray) -> bool:
         """Absorb one augmented row ``[vector | payload]``.
 
-        This is the elimination kernel shared by :meth:`add_packet` and
-        the tests; it mutates ``row``.
+        A one-row batch through :meth:`add_rows`; the caller's array is
+        never mutated.
         """
         row = np.asarray(row, dtype=np.uint8)
-        if row.size != self._width:
+        if row.ndim != 1 or row.size != self._width:
             raise ValueError(f"row width {row.size} != expected {self._width}")
-        self._received += 1
+        return bool(self.add_rows(row[None, :])[0])
+
+    def add_rows(self, batch: np.ndarray, *, copy: bool = True) -> np.ndarray:
+        """Absorb a batch of augmented rows; returns per-row verdicts.
+
+        ``batch`` is (k, width); the returned boolean array marks which
+        rows were innovative.  The batch is forward-eliminated against
+        all existing pivots at once (one GF(2^8) matrix product — legal
+        because the stored matrix is *reduced* row-echelon, so no pivot
+        row carries another pivot's column), then new pivots are
+        extracted sequentially with one vectorized ``addmul_rows`` sweep
+        over the whole batch per pivot, and finally back-substituted into
+        the previously stored rows with a single matrix product.
+        """
+        batch = np.array(batch, dtype=np.uint8, copy=copy, ndmin=2)
+        if batch.ndim != 2 or batch.shape[1] != self._width:
+            raise ValueError(
+                f"batch width {batch.shape[-1]} != expected {self._width}"
+            )
+        k = batch.shape[0]
+        self._received += k
+        verdicts = np.zeros(k, dtype=bool)
+        if k == 0:
+            return verdicts
         if self.is_complete:
-            self._m_redundant.inc()
-            return False
+            self._m_redundant.inc(k)
+            return verdicts
         field = self._field
-        # Forward-eliminate against existing pivots (rows sorted by pivot).
-        for pivot_col, existing in zip(self._pivot_cols, self._rows):
-            coeff = int(row[pivot_col])
-            if coeff:
-                field.addmul_row(row, existing, coeff)
-        nonzero = np.nonzero(row[: self._blocks])[0]
-        if nonzero.size == 0:
-            # Non-innovative: the coding vector vanished.  (With payloads, a
-            # consistent packet's payload vanishes too; we discard either way.)
-            self._m_redundant.inc()
-            return False
-        pivot_col = int(nonzero[0])
-        pivot_value = int(row[pivot_col])
-        if pivot_value != 1:
-            row = field.scale_row(row, int(field.inverse(pivot_value)))
-        # Back-substitute: clear this pivot column from every existing row
-        # so the matrix stays *reduced* row-echelon, not merely echelon.
-        for existing in self._rows:
-            coeff = int(existing[pivot_col])
-            if coeff:
-                field.addmul_row(existing, row, coeff)
-        insert_at = int(np.searchsorted(np.array(self._pivot_cols), pivot_col))
-        self._rows.insert(insert_at, row)
-        self._pivot_cols.insert(insert_at, pivot_col)
-        self._innovative += 1
-        self._m_innovative.inc()
-        self._m_rank.set(self._innovative)
-        if self._innovative >= self._blocks:
+        blocks = self._blocks
+        rank = self._innovative
+        # Phase 1: forward-eliminate the whole batch against every
+        # existing pivot in one product.
+        if rank:
+            coeffs = batch[:, self._pivot_cols[:rank]]
+            if coeffs.any():
+                np.bitwise_xor(
+                    batch, field.matmul(coeffs, self._matrix[:rank]), out=batch
+                )
+        # Phase 2: extract new pivots.  Rows must be scanned in order
+        # (later rows may depend on earlier ones), but each new pivot is
+        # cleared from *every* other batch row in one vectorized sweep —
+        # which simultaneously keeps earlier new pivot rows reduced.
+        new_index: List[int] = []
+        new_cols: List[int] = []
+        limit = blocks - rank
+        for i in range(k):
+            if len(new_index) >= limit:
+                break
+            row = batch[i]
+            nonzero = np.nonzero(row[:blocks])[0]
+            if nonzero.size == 0:
+                continue
+            pivot_col = int(nonzero[0])
+            pivot_value = int(row[pivot_col])
+            if pivot_value != 1:
+                row[:] = field.scale_row(row, int(field.inverse(pivot_value)))
+            column = batch[:, pivot_col].copy()
+            column[i] = 0
+            field.addmul_rows(batch, row, column)
+            new_index.append(i)
+            new_cols.append(pivot_col)
+            verdicts[i] = True
+        added = len(new_index)
+        if added == 0:
+            self._m_redundant.inc(k)
+            return verdicts
+        fresh = batch[np.asarray(new_index)]
+        fresh_cols = np.asarray(new_cols, dtype=np.intp)
+        # Phase 3: back-substitute all new pivots into the old rows with
+        # one product (the new rows are mutually reduced and zero in the
+        # old pivot columns, so the product clears exactly the new
+        # columns).
+        if rank:
+            old = self._matrix[:rank]
+            old_coeffs = old[:, fresh_cols]
+            if old_coeffs.any():
+                np.bitwise_xor(old, field.matmul(old_coeffs, fresh), out=old)
+        # Phase 4: merge, keeping rows sorted by pivot column.
+        merged_cols = np.concatenate([self._pivot_cols[:rank], fresh_cols])
+        order = np.argsort(merged_cols, kind="stable")
+        merged = np.concatenate([self._matrix[:rank], fresh], axis=0)
+        total = rank + added
+        self._matrix[:total] = merged[order]
+        self._pivot_cols[:total] = merged_cols[order]
+        self._innovative = total
+        self._m_innovative.inc(added)
+        self._m_redundant.inc(k - added)
+        self._m_rank.set(total)
+        if self.is_complete:
             self._m_decode_packets.observe(self._received)
             self._m_overhead.observe(self._received - self._innovative)
-        return True
+        return verdicts
 
     def coefficient_matrix(self) -> np.ndarray:
         """The current (rank x n) reduced coefficient matrix."""
-        if not self._rows:
-            return np.zeros((0, self._blocks), dtype=np.uint8)
-        return np.stack([row[: self._blocks] for row in self._rows])
+        return self._matrix[: self._innovative, : self._blocks].copy()
 
     def decode(self) -> np.ndarray:
         """Return the recovered generation matrix B.
@@ -194,7 +280,7 @@ class ProgressiveDecoder:
             )
         if self._block_size is None:
             raise RuntimeError("coefficient-only decoder holds no payloads")
-        return np.stack([row[self._blocks :] for row in self._rows])
+        return self._matrix[: self._blocks, self._blocks :].copy()
 
     def decode_generation(self, generation_id: int) -> Generation:
         """Decode and wrap the result in a :class:`Generation`."""
@@ -241,17 +327,13 @@ class BlockDecoder:
         if len(self._vectors) < self._blocks:
             return None
         stacked = np.stack(self._vectors)
-        reduced, pivots = gfmatrix.rref(stacked, self._field)
+        # One RREF pass on the transpose yields both the rank and the
+        # earliest maximal independent row set: pivot columns of R^T are
+        # exactly the greedy-by-incremental-rank row indices of R.
+        _, pivots = gfmatrix.rref(stacked.T, self._field)
         if len(pivots) < self._blocks:
             return None
-        # Select n independent rows (greedy by incremental rank).
-        chosen: List[int] = []
-        probe = ProgressiveDecoder(self._blocks, field=self._field)
-        for index, vector in enumerate(self._vectors):
-            if probe.add_row(vector.copy()):
-                chosen.append(index)
-            if probe.is_complete:
-                break
-        coeffs = np.stack([self._vectors[i] for i in chosen])
+        chosen = pivots[: self._blocks]
+        coeffs = stacked[chosen]
         payloads = np.stack([self._payloads[i] for i in chosen])
         return gfmatrix.solve(coeffs, payloads, self._field)

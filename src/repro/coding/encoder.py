@@ -78,6 +78,36 @@ class SourceEncoder:
             payload=payload,
         )
 
+    def next_packets(self, count: int) -> List[CodedPacket]:
+        """Emit ``count`` coded packets from one batched draw + matmul.
+
+        The full (count, n) coefficient matrix comes from a single RNG
+        call and the payloads from a single ``field.matmul`` — the block
+        analogue of ``next_packet``, amortizing per-call numpy overhead
+        across the batch.  Packets wrap rows of the result without
+        copying (:meth:`CodedPacket.batch_from_rows`).
+        """
+        if count <= 0:
+            raise ValueError(f"count must be > 0, got {count}")
+        n = self._generation.matrix.shape[0]
+        matrix = self._rng.integers(0, 256, size=(count, n), dtype=np.uint8)
+        zero = ~matrix.any(axis=1)
+        while zero.any():
+            matrix[zero] = self._rng.integers(
+                0, 256, size=(int(np.count_nonzero(zero)), n), dtype=np.uint8
+            )
+            zero = ~matrix.any(axis=1)
+        payloads = None
+        if self._payload:
+            payloads = self._field.matmul(matrix, self._generation.matrix)
+        self._emitted += count
+        return CodedPacket.batch_from_rows(
+            self._session_id,
+            self._generation.generation_id,
+            matrix,
+            payloads,
+        )
+
     def advance(self, generation: Generation) -> None:
         """Move to the next generation after the destination ACKs."""
         if generation.generation_id <= self._generation.generation_id:
@@ -114,11 +144,15 @@ class RelayReEncoder:
         self._rng = rng
         self._field = field
         self._generation_id = generation_id
-        self._vectors: List[np.ndarray] = []
-        self._payloads: List[Optional[np.ndarray]] = []
+        # Contiguous packet buffers: row i holds the i-th innovative
+        # packet.  The payload buffer is allocated lazily on the first
+        # payload-bearing packet (its width is not known up front).
+        self._vector_buf = np.zeros((blocks, blocks), dtype=np.uint8)
+        self._payload_buf: Optional[np.ndarray] = None
+        self._count = 0
         # Incremental row-echelon copy of the vectors, used only for the
         # innovation check; pivots[c] = row index whose pivot is column c.
-        self._echelon: List[np.ndarray] = []
+        self._echelon_buf = np.zeros((blocks, blocks), dtype=np.uint8)
         self._pivots: dict = {}
 
     @property
@@ -129,7 +163,7 @@ class RelayReEncoder:
     @property
     def buffered(self) -> int:
         """Number of innovative packets buffered (= current rank)."""
-        return len(self._vectors)
+        return self._count
 
     @property
     def is_full(self) -> bool:
@@ -139,7 +173,7 @@ class RelayReEncoder:
         all incoming packets will be non-innovative" (Sec. 4), but keep
         re-encoding and broadcasting.
         """
-        return len(self._vectors) >= self._blocks
+        return self._count >= self._blocks
 
     def accept(self, packet: CodedPacket) -> bool:
         """Accept ``packet`` if innovative; return whether it was stored.
@@ -163,32 +197,38 @@ class RelayReEncoder:
             self.advance(packet.generation_id)
         if self.is_full:
             return False
-        residual = self._reduce(packet.coefficients.copy())
-        if residual is None:
+        if not self._reduce(packet.coefficients.copy()):
             return False
-        self._vectors.append(packet.coefficients.copy())
-        payload = None if packet.payload is None else packet.payload.copy()
-        self._payloads.append(payload)
+        row = self._count
+        self._vector_buf[row] = packet.coefficients
+        if packet.payload is not None:
+            if self._payload_buf is None or self._payload_buf.shape[1] != packet.payload.size:
+                self._payload_buf = np.zeros(
+                    (self._blocks, packet.payload.size), dtype=np.uint8
+                )
+            self._payload_buf[row] = packet.payload
+        self._count = row + 1
         return True
 
-    def _reduce(self, vector: np.ndarray) -> Optional[np.ndarray]:
-        """Reduce ``vector`` against the echelon; store and return it if a
-        new pivot emerges, else return None (dependent)."""
+    def _reduce(self, vector: np.ndarray) -> bool:
+        """Reduce ``vector`` against the echelon; store it and return True
+        if a new pivot emerges, else return False (dependent)."""
         field = self._field
         for col, row_index in sorted(self._pivots.items()):
             coeff = int(vector[col])
             if coeff:
-                field.addmul_row(vector, self._echelon[row_index], coeff)
+                field.addmul_row(vector, self._echelon_buf[row_index], coeff)
         nonzero = np.nonzero(vector)[0]
         if nonzero.size == 0:
-            return None
+            return False
         pivot_col = int(nonzero[0])
         pivot_value = int(vector[pivot_col])
         if pivot_value != 1:
             vector = field.scale_row(vector, int(field.inverse(pivot_value)))
-        self._pivots[pivot_col] = len(self._echelon)
-        self._echelon.append(vector)
-        return vector
+        row = len(self._pivots)
+        self._pivots[pivot_col] = row
+        self._echelon_buf[row] = vector
+        return True
 
     def next_packet(self) -> CodedPacket:
         """Emit one re-encoded packet over the buffered innovative set.
@@ -196,23 +236,55 @@ class RelayReEncoder:
         Raises ``RuntimeError`` if the buffer is empty (a relay with no
         information cannot transmit).
         """
-        if not self._vectors:
+        if self._count == 0:
             raise RuntimeError("relay has no innovative packets to re-encode")
-        count = len(self._vectors)
+        count = self._count
         mix = self._rng.integers(0, 256, size=count, dtype=np.uint8)
         while not np.any(mix):
             mix = self._rng.integers(0, 256, size=count, dtype=np.uint8)
-        stacked = np.stack(self._vectors)
-        out_vector = self._field.matmul(mix[None, :], stacked)[0]
+        out_vector = self._field.matmul(mix[None, :], self._vector_buf[:count])[0]
         out_payload = None
-        if self._payloads[0] is not None:
-            payload_matrix = np.stack(self._payloads)
-            out_payload = self._field.matmul(mix[None, :], payload_matrix)[0]
+        if self._payload_buf is not None:
+            out_payload = self._field.matmul(
+                mix[None, :], self._payload_buf[:count]
+            )[0]
         return CodedPacket(
             session_id=self._session_id,
             generation_id=self._generation_id,
             coefficients=out_vector,
             payload=out_payload,
+        )
+
+    def next_packets(self, count: int) -> List[CodedPacket]:
+        """Emit ``count`` re-encoded packets from one draw + matmul.
+
+        Same semantics as ``count`` calls of :meth:`next_packet`: every
+        emitted packet mixes the whole buffered innovative set with fresh
+        random coefficients, drawn here as a single (count, buffered)
+        matrix and combined by one ``field.matmul`` over the contiguous
+        packet buffers.
+        """
+        if count <= 0:
+            raise ValueError(f"count must be > 0, got {count}")
+        if self._count == 0:
+            raise RuntimeError("relay has no innovative packets to re-encode")
+        buffered = self._count
+        mix = self._rng.integers(0, 256, size=(count, buffered), dtype=np.uint8)
+        zero = ~mix.any(axis=1)
+        while zero.any():
+            mix[zero] = self._rng.integers(
+                0, 256, size=(int(np.count_nonzero(zero)), buffered), dtype=np.uint8
+            )
+            zero = ~mix.any(axis=1)
+        out_vectors = self._field.matmul(mix, self._vector_buf[:buffered])
+        out_payloads = None
+        if self._payload_buf is not None:
+            out_payloads = self._field.matmul(mix, self._payload_buf[:buffered])
+        return CodedPacket.batch_from_rows(
+            self._session_id,
+            self._generation_id,
+            out_vectors,
+            out_payloads,
         )
 
     def advance(self, generation_id: int) -> None:
@@ -222,7 +294,5 @@ class RelayReEncoder:
                 f"generation must increase: {generation_id} <= {self._generation_id}"
             )
         self._generation_id = generation_id
-        self._vectors.clear()
-        self._payloads.clear()
-        self._echelon.clear()
+        self._count = 0
         self._pivots.clear()

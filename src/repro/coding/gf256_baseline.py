@@ -101,6 +101,18 @@ class GF256Baseline:
         )
 
     @staticmethod
+    def scale_rows(rows: np.ndarray, coefficients: np.ndarray) -> np.ndarray:
+        """Row-wise scaling, one byte-at-a-time pass per row."""
+        rows = np.asarray(rows, dtype=np.uint8)
+        coefficients = np.asarray(coefficients, dtype=np.uint8)
+        return np.stack(
+            [
+                GF256Baseline.scale_row(row, int(coeff))
+                for row, coeff in zip(rows, coefficients)
+            ]
+        )
+
+    @staticmethod
     def addmul_row(target: np.ndarray, source: np.ndarray, coefficient: int) -> None:
         """In-place ``target ^= coefficient * source``, byte at a time."""
         if coefficient == 0:
@@ -108,6 +120,16 @@ class GF256Baseline:
         src = np.asarray(source, dtype=np.uint8).tolist()
         for index, value in enumerate(src):
             target[index] ^= _mul_byte(coefficient, value)
+
+    @staticmethod
+    def addmul_rows(
+        targets: np.ndarray, source: np.ndarray, coefficients: np.ndarray
+    ) -> None:
+        """In-place ``targets[i] ^= coefficients[i] * source`` per row."""
+        coefficients = np.asarray(coefficients, dtype=np.uint8)
+        for index, coeff in enumerate(coefficients.tolist()):
+            if coeff:
+                GF256Baseline.addmul_row(targets[index], source, coeff)
 
     @staticmethod
     def matmul(a: np.ndarray, b: np.ndarray) -> np.ndarray:

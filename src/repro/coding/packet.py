@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import Optional
+from typing import List, Optional
 
 import numpy as np
 
@@ -72,6 +72,60 @@ class CodedPacket:
             payload = payload.copy()
             payload.setflags(write=False)
             object.__setattr__(self, "payload", payload)
+
+    @classmethod
+    def batch_from_rows(
+        cls,
+        session_id: int,
+        generation_id: int,
+        coefficients: np.ndarray,
+        payloads: Optional[np.ndarray] = None,
+        origin: Optional[int] = None,
+    ) -> "List[CodedPacket]":
+        """Build one packet per row of ``coefficients`` without copying.
+
+        The batch encoders produce whole (k, n) coefficient and (k, m)
+        payload matrices in contiguous memory; this constructor wraps
+        each row as a read-only view so packet construction stays O(k)
+        in Python objects with zero byte copies.  The input matrices are
+        marked read-only in place — callers hand over ownership.
+        """
+        coefficients = np.ascontiguousarray(coefficients, dtype=np.uint8)
+        if coefficients.ndim != 2 or coefficients.shape[1] == 0:
+            raise ValueError("coefficients must be a non-empty (k, n) matrix")
+        if session_id < 0 or session_id > 0xFFFFFFFF:
+            raise ValueError(f"session_id out of range: {session_id}")
+        if generation_id < 0 or generation_id > 0xFFFFFFFF:
+            raise ValueError(f"generation_id out of range: {generation_id}")
+        if coefficients.shape[1] > 0xFFFF:
+            raise ValueError(f"coding vector too long: {coefficients.shape[1]}")
+        coefficients.setflags(write=False)
+        payload_rows: List[Optional[np.ndarray]]
+        if payloads is None:
+            payload_rows = [None] * coefficients.shape[0]
+        else:
+            payloads = np.ascontiguousarray(payloads, dtype=np.uint8)
+            if payloads.ndim != 2 or payloads.shape[1] == 0:
+                raise ValueError("payloads must be a non-empty (k, m) matrix")
+            if payloads.shape[0] != coefficients.shape[0]:
+                raise ValueError(
+                    f"payload rows {payloads.shape[0]} != "
+                    f"coefficient rows {coefficients.shape[0]}"
+                )
+            if payloads.shape[1] > 0xFFFF:
+                raise ValueError(f"payload too long: {payloads.shape[1]}")
+            payloads.setflags(write=False)
+            payload_rows = list(payloads)
+        packets = []
+        for vector, payload in zip(coefficients, payload_rows):
+            packet = object.__new__(cls)
+            object.__setattr__(packet, "session_id", session_id)
+            object.__setattr__(packet, "generation_id", generation_id)
+            object.__setattr__(packet, "coefficients", vector)
+            object.__setattr__(packet, "payload", payload)
+            object.__setattr__(packet, "origin", origin)
+            packets.append(packet)
+        return packets
 
     @property
     def blocks(self) -> int:

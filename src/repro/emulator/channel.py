@@ -11,7 +11,7 @@ from coding/placement randomness (see :class:`repro.util.RngFactory`).
 
 from __future__ import annotations
 
-from typing import Iterable, Tuple
+from typing import Iterable, Sequence, Tuple
 
 from repro.topology.graph import WirelessNetwork
 from repro.util.rng import RngLike, as_rng
@@ -53,6 +53,31 @@ class LossyBroadcastChannel:
         draws = self._rng.random(len(candidates))
         delivered = tuple(
             j for (j, p), u in zip(candidates, draws) if u < p
+        )
+        self._deliveries += len(delivered)
+        return delivered
+
+    def broadcast_prefiltered(
+        self,
+        receiver_ids: Sequence[int],
+        probabilities: Sequence[float],
+    ) -> Tuple[int, ...]:
+        """:meth:`broadcast` over candidates already filtered to p > 0.
+
+        ``receiver_ids``/``probabilities`` are aligned sequences the
+        engine assembles from its precomputed per-transmitter receiver
+        lists.  Consumes the RNG exactly like :meth:`broadcast` — one
+        batched uniform draw per transmission, candidates in the same
+        order — so both entry points produce identical loss patterns.
+        """
+        self._transmissions += 1
+        if not receiver_ids:
+            return ()
+        draws = self._rng.random(len(receiver_ids))
+        delivered = tuple(
+            j
+            for j, p, u in zip(receiver_ids, probabilities, draws.tolist())
+            if u < p
         )
         self._deliveries += len(delivered)
         return delivered

@@ -92,6 +92,40 @@ class EmulationEngine:
             queue_time_sum={n: 0.0 for n in runtimes},
             transmissions={n: 0 for n in runtimes},
         )
+        # ------------------------------------------------------------------
+        # Precomputed slot-loop structures (the hot path).  Participant
+        # order is the conflict graph's sorted order; per-slot state lives
+        # in preallocated ndarrays instead of rebuilt dicts.
+        # ------------------------------------------------------------------
+        participants = self._conflicts.participants
+        self._participants = participants
+        self._runtime_list = [self._runtimes[node] for node in participants]
+        count = len(participants)
+        self._backlog_buf: List[float] = [0.0] * count
+        self._weight_buf: List[float] = [0.0] * count
+        self._queue_time_buf: List[float] = [0.0] * count
+        node_count = network.node_count
+        # Node-indexed per-slot scratch: which nodes transmit this slot,
+        # and how many granted transmitters cover each node (blanking
+        # model).  Reset per slot by touched entry, not by rebuild.
+        self._granted_flags: List[bool] = [False] * node_count
+        self._covered_counts: List[int] = [0] * node_count
+        # Per transmitter, in the network's neighborhood iteration order
+        # (fixed at construction so the channel RNG mapping is stable):
+        #  - _cov_list: every geometric neighbor (coverage targets);
+        #  - _rx_pairs: (receiver, p) over neighbors that are session
+        #    runtimes; p = 0 where no usable link exists (such receivers
+        #    still count toward blanking — coverage is geometric).
+        self._cov_list: Dict[int, List[int]] = {}
+        self._rx_pairs: Dict[int, List[Tuple[int, float]]] = {}
+        for node in participants:
+            neighbors = list(network.neighbors(node))
+            self._cov_list[node] = neighbors
+            self._rx_pairs[node] = [
+                (j, network.probability(node, j))
+                for j in neighbors
+                if j in self._runtimes
+            ]
         scope = metrics.attach("emulator")
         self._obs_enabled = scope.enabled
         self._m_slots = scope.counter("slots", "emulation slots executed")
@@ -111,7 +145,17 @@ class EmulationEngine:
     @property
     def stats(self) -> EngineStats:
         """Counters collected so far."""
+        self._flush_queue_stats()
         return self._stats
+
+    def _flush_queue_stats(self) -> None:
+        """Publish the queue-time accumulator into the stats dict.
+
+        The slot loop accumulates into a flat array; the dict view the
+        stats object exposes is materialized only when someone looks.
+        """
+        for index, node in enumerate(self._participants):
+            self._stats.queue_time_sum[node] = self._queue_time_buf[index]
 
     @property
     def now(self) -> float:
@@ -137,41 +181,50 @@ class EmulationEngine:
             self.step()
             if stop_when is not None and stop_when():
                 break
+        self._flush_queue_stats()
         return self._stats
 
     def step(self) -> Tuple[int, ...]:
         """Execute one slot; returns the granted transmitter set."""
-        for runtime in self._runtimes.values():
-            runtime.on_slot(self._dt)
-        backlogs = {
-            node: runtime.backlog() for node, runtime in self._runtimes.items()
-        }
-        weights = {
-            node: runtime.demand_rate(self._dt)
-            for node, runtime in self._runtimes.items()
-        }
-        granted = self._scheduler.schedule(backlogs, weights)
+        dt = self._dt
+        backlogs = self._backlog_buf
+        weights = self._weight_buf
+        # One pass per runtime: clock advance, then scheduler inputs.
+        # Safe to fuse — runtimes only interact through deliveries, and
+        # each holds its own RNG, so per-node slot work is independent.
+        for index, runtime in enumerate(self._runtime_list):
+            runtime.on_slot(dt)
+            backlogs[index] = runtime.backlog()
+            weights[index] = runtime.demand_rate(dt)
+        granted = self._scheduler.schedule_arrays(backlogs, weights)
         if self._tracer is not None:
             for node in granted:
                 self._tracer.record(
                     self._stats.slots, self._stats.elapsed, "grant", node
                 )
         self._deliver(granted)
-        for node, runtime in self._runtimes.items():
-            queue_length = runtime.queue_length()
-            self._stats.queue_time_sum[node] += queue_length
-            if self._obs_enabled:
+        queue_times = self._queue_time_buf
+        if self._obs_enabled:
+            for index, runtime in enumerate(self._runtime_list):
+                queue_length = runtime.queue_length()
+                queue_times[index] += queue_length
                 self._m_queue.observe(queue_length)
-        self._stats.slots += 1
-        self._stats.elapsed += self._dt
-        self._stats.grants += len(granted)
-        self._m_slots.inc()
-        self._m_grants.inc(len(granted))
-        self._m_time.set(self._stats.elapsed)
+        else:
+            for index, runtime in enumerate(self._runtime_list):
+                queue_times[index] += runtime.queue_length()
+        stats = self._stats
+        stats.slots += 1
+        stats.elapsed += dt
+        stats.grants += len(granted)
+        if self._obs_enabled:
+            self._m_slots.inc()
+            self._m_grants.inc(len(granted))
+            self._m_time.set(stats.elapsed)
         return granted
 
     def _record_tx(self, node: int) -> None:
-        self._m_tx.inc()
+        if self._obs_enabled:
+            self._m_tx.inc()
         if self._tracer is not None:
             self._tracer.record(
                 self._stats.slots, self._stats.elapsed, "tx", node
@@ -197,13 +250,17 @@ class EmulationEngine:
           serializes shared-receiver transmitters (two-hop conflicts),
           the Sec. 3.2 idealized broadcast MAC.
         """
-        granted_set = set(granted)
+        granted_flags = self._granted_flags
+        for node in granted:
+            granted_flags[node] = True
+        blanking = self._interference == "blanking"
         # Phase 1: fire transmissions and draw per-link receptions.
         offers: Dict[int, List[Tuple[int, object]]] = {}
-        covered: Dict[int, int] = {}
-        for node in granted:
-            for j in self._network.neighbors(node):
-                covered[j] = covered.get(j, 0) + 1
+        covered = self._covered_counts
+        if blanking:
+            for node in granted:
+                for j in self._cov_list[node]:
+                    covered[j] += 1
         for node in granted:
             runtime = self._runtimes[node]
             if isinstance(runtime, UnicastRuntime):
@@ -215,10 +272,11 @@ class EmulationEngine:
                 self._stats.transmissions[node] += 1
                 self._record_tx(node)
                 self._pending_unicast[node] = False
-                if target in granted_set:
+                if granted_flags[target]:
                     continue  # half-duplex: a transmitter cannot receive
-                if self._interference == "blanking" and covered.get(target, 0) > 1:
-                    self._m_blanked.inc()
+                if blanking and covered[target] > 1:
+                    if self._obs_enabled:
+                        self._m_blanked.inc()
                     continue  # hidden-terminal collision at the receiver
                 if self._channel.unicast(node, target):
                     offers.setdefault(target, []).append((node, sequence))
@@ -228,16 +286,33 @@ class EmulationEngine:
                     continue
                 self._stats.transmissions[node] += 1
                 self._record_tx(node)
-                receivers = [
-                    j
-                    for j in self._network.neighbors(node)
-                    if j in self._runtimes and j not in granted_set
-                ]
-                if self._interference == "blanking":
-                    clear = [j for j in receivers if covered.get(j, 0) <= 1]
-                    self._m_blanked.inc(len(receivers) - len(clear))
-                    receivers = clear
-                for j in self._channel.broadcast(node, receivers):
+                candidate_ids: List[int] = []
+                candidate_probs: List[float] = []
+                if blanking:
+                    blanked = 0
+                    for j, p in self._rx_pairs[node]:
+                        if granted_flags[j]:
+                            continue
+                        if covered[j] > 1:
+                            # Coverage is geometric: a receiver with no
+                            # usable link from this transmitter is still
+                            # blanked, matching the paper's model.
+                            blanked += 1
+                            continue
+                        if p > 0.0:
+                            candidate_ids.append(j)
+                            candidate_probs.append(p)
+                    if blanked and self._obs_enabled:
+                        self._m_blanked.inc(blanked)
+                else:
+                    for j, p in self._rx_pairs[node]:
+                        if p > 0.0 and not granted_flags[j]:
+                            candidate_ids.append(j)
+                            candidate_probs.append(p)
+                delivered = self._channel.broadcast_prefiltered(
+                    candidate_ids, candidate_probs
+                )
+                for j in delivered:
                     offers.setdefault(j, []).append((node, packet))
         # Phase 2: per-receiver resolution — at most one delivery per slot.
         for receiver, arrivals in offers.items():
@@ -247,7 +322,8 @@ class EmulationEngine:
                 index = int(self._rng.integers(0, len(arrivals)))
                 sender, payload = arrivals[index]
             self._stats.delivered_links.add((sender, receiver))
-            self._m_deliveries.inc()
+            if self._obs_enabled:
+                self._m_deliveries.inc()
             if self._tracer is not None:
                 self._tracer.record(
                     self._stats.slots,
@@ -268,6 +344,12 @@ class EmulationEngine:
             runtime = self._runtimes[node]
             if isinstance(runtime, UnicastRuntime) and node in self._pending_unicast:
                 runtime.complete_transmission(self._pending_unicast.pop(node))
+        for node in granted:
+            granted_flags[node] = False
+        if blanking:
+            for node in granted:
+                for j in self._cov_list[node]:
+                    covered[j] = 0
 
     def broadcast_generation_advance(self, generation_id: int) -> None:
         """Propagate an ACK/next-generation signal to every runtime.

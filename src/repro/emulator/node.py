@@ -63,6 +63,16 @@ class NodeRuntime:
     def on_receive(self, packet: CodedPacket, sender: int) -> None:
         """Handle a delivered packet."""
 
+    def on_receive_batch(self, packets, sender: int) -> None:
+        """Handle several packets delivered in one slot from ``sender``.
+
+        Runtimes with a batch-capable data plane override this (the
+        destination feeds its decoder's ``add_packets``); the default
+        simply replays the single-packet path in order.
+        """
+        for packet in packets:
+            self.on_receive(packet, sender)
+
     def queue_length(self) -> int:
         """Current broadcast-queue occupancy (the Fig. 3 metric)."""
         return 0
@@ -117,15 +127,22 @@ class CodedSourceRuntime(NodeRuntime):
 
     def on_slot(self, dt: float) -> None:
         self._credit += self._rate * dt / self._packet_bytes
+        make = int(self._credit)
+        if make <= 0:
+            return
+        self._credit -= make
         # A saturated queue sheds load instead of banking credit, so the
         # source cannot burst-flush stale credit after an ACK.
-        while self._credit >= 1.0:
-            self._credit -= 1.0
-            if len(self._queue) >= self._queue_limit:
-                self.packets_dropped += 1
-                continue
+        emit = min(make, self._queue_limit - len(self._queue))
+        self.packets_dropped += make - emit
+        if emit == 1:
+            # Single-packet slots (the CBR common case) keep the exact
+            # per-packet RNG stream of the scalar encoder path.
             self._queue.append(self._encoder.next_packet())
-            self.packets_generated += 1
+        elif emit > 1:
+            self._queue.extend(self._encoder.next_packets(emit))
+        if emit > 0:
+            self.packets_generated += emit
 
     def backlog(self) -> float:
         return float(len(self._queue))
@@ -228,14 +245,20 @@ class CodedRelayRuntime(NodeRuntime):
             self._enqueued_this_slot = 0.0
 
     def _drain_credit(self) -> None:
-        while self._credit >= 1.0 and self._buffer.buffered > 0:
-            self._credit -= 1.0
-            if len(self._queue) >= self._queue_limit:
-                self.packets_dropped += 1
-                continue
+        if self._credit < 1.0 or self._buffer.buffered == 0:
+            return
+        make = int(self._credit)
+        self._credit -= make
+        emit = min(make, self._queue_limit - len(self._queue))
+        self.packets_dropped += make - emit
+        if emit == 1:
+            # Single-packet drains keep the scalar re-encoder RNG stream.
             self._queue.append(self._buffer.next_packet())
-            self.packets_generated += 1
-            self._enqueued_this_slot += 1.0
+        elif emit > 1:
+            self._queue.extend(self._buffer.next_packets(emit))
+        if emit > 0:
+            self.packets_generated += emit
+            self._enqueued_this_slot += float(emit)
 
     def backlog(self) -> float:
         return float(len(self._queue))
@@ -317,6 +340,25 @@ class CodedDestinationRuntime(NodeRuntime):
                 # The uncoded ACK travels back to the source; the session
                 # driver models its (fast, reliable) best-path delivery.
                 self._on_decoded(self._generation_id)
+
+    def on_receive_batch(self, packets, sender: int) -> None:
+        """Feed a whole slot's deliveries through one batch elimination."""
+        accepted = [
+            packet
+            for packet in packets
+            if packet.session_id == self._session_id
+            and packet.generation_id == self._generation_id
+        ]
+        if not accepted:
+            return
+        self.packets_heard += len(accepted)
+        if self._decoder.is_complete:
+            return
+        verdicts = self._decoder.add_packets(accepted)
+        self.innovative_received += int(np.count_nonzero(verdicts))
+        if self._decoder.is_complete:
+            self.generations_decoded += 1
+            self._on_decoded(self._generation_id)
 
     def advance_generation(self, generation_id: int) -> None:
         if generation_id <= self._generation_id:

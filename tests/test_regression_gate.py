@@ -81,7 +81,17 @@ def test_collect_marks_only_interpreter_bound_probes_advisory():
         (REPO_ROOT / "benchmarks" / "BENCH_baseline.json").read_text()
     )["modes"]["quick"]
     advisory = {n for n, r in quick["metrics"].items() if r.get("advisory")}
-    assert advisory == {"emulator_kslots_per_sec", "optimizer_iters_per_sec"}
+    assert advisory == {
+        "emulator_kslots_per_sec",
+        "emulator_slot_loop",
+        "optimizer_iters_per_sec",
+    }
+    hard = set(quick["metrics"]) - advisory
+    assert {
+        "codec_pipeline_mbps",
+        "codec_decode_batch_mbps",
+        "codec_encode_mbps",
+    } <= hard
 
 
 def test_compare_rejects_nonpositive_tolerance():
@@ -109,9 +119,11 @@ def test_committed_baseline_has_both_modes_and_all_probes():
     document = json.loads((REPO_ROOT / "benchmarks" / "BENCH_baseline.json").read_text())
     assert document["schema"] == gate.SCHEMA_VERSION
     expected = {
+        "codec_decode_batch_mbps",
         "codec_encode_mbps",
         "codec_pipeline_mbps",
         "emulator_kslots_per_sec",
+        "emulator_slot_loop",
         "optimizer_iters_per_sec",
     }
     for mode in ("quick", "full"):
