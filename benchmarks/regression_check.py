@@ -69,8 +69,14 @@ from repro.emulator.session import SessionConfig, run_coded_session  # noqa: E40
 from repro.topology.graph import WirelessNetwork  # noqa: E402
 from repro.optimization.problem import session_graph_from_network  # noqa: E402
 from repro.optimization.rate_control import RateControlAlgorithm  # noqa: E402
+from repro.protocols.adaptive import make_planner  # noqa: E402
 from repro.protocols.more import plan_more  # noqa: E402
 from repro.routing.node_selection import NodeSelectionError  # noqa: E402
+from repro.scenario import (  # noqa: E402
+    builtin_scenario,
+    make_policy,
+    run_adaptive_session,
+)
 from repro.topology.phy import lossy_phy  # noqa: E402
 from repro.topology.random_network import fig1_sample_topology, random_network  # noqa: E402
 from repro.util.rng import RngFactory  # noqa: E402
@@ -317,6 +323,45 @@ def probe_emulator_slot_loop(*, relays: int, slots: int, rounds: int) -> ProbeRe
     )
 
 
+def probe_adaptive_replan(
+    *, nodes: int, seconds: float, epochs: int, rounds: int
+) -> ProbeResult:
+    """Live control-plane turnaround: successful re-plans per wall second.
+
+    Runs one OMNC session under the builtin drift scenario with an
+    every-epoch periodic policy, so each epoch exercises the full
+    re-initiation path — warm-started rate control, ``replan_cost``
+    charging, runtime hot-swap and engine structure rebuild.
+    """
+    rng = RngFactory(2008)
+    network = random_network(
+        nodes, phy=lossy_phy(rng=rng.derive("phy")), rng=rng.derive("topology")
+    )
+    source, destination = _feasible_pair(network)
+    spec = builtin_scenario(
+        "drift", duration=seconds, epoch_seconds=seconds / epochs
+    )
+    config = SessionConfig(max_seconds=seconds)
+
+    def run() -> float:
+        planner = make_planner("omnc", source, destination)
+        started = time.perf_counter()
+        result = run_adaptive_session(
+            network,
+            planner,
+            make_policy("periodic"),
+            spec,
+            config=config,
+            rng=RngFactory(7),
+        )
+        elapsed = time.perf_counter() - started
+        return max(result.replans, 1) / elapsed
+
+    return ProbeResult(
+        "adaptive_replan", _best_of(run, rounds), "replans/s", advisory=True
+    )
+
+
 def probe_optimizer(*, inner: int, rounds: int) -> ProbeResult:
     """Distributed rate-control iterations per wall second (Fig. 1 graph)."""
     network = fig1_sample_topology(capacity=1e5)
@@ -374,6 +419,12 @@ def collect(mode: str = "full") -> dict:
             relays=4,
             slots=2000 if quick else 6000,
             rounds=3 if quick else 2,
+        ),
+        probe_adaptive_replan(
+            nodes=30,
+            seconds=40.0 if quick else 120.0,
+            epochs=4 if quick else 8,
+            rounds=2 if quick else 3,
         ),
         probe_optimizer(inner=10 if quick else 20, rounds=3 if quick else 3),
     ]

@@ -79,6 +79,13 @@ def _cmd_fig4(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fig5(args: argparse.Namespace) -> int:
+    from repro.experiments import fig5_adaptation
+
+    fig5_adaptation.main(smoke=args.smoke)
+    return 0
+
+
 def _cmd_coding_speed(_args: argparse.Namespace) -> int:
     from repro.experiments import coding_speed
 
@@ -146,8 +153,32 @@ def _cmd_session(args: argparse.Namespace) -> int:
     registry = obs.enable() if args.metrics else None
     tracer = SessionTracer() if args.trace else None
     source, destination = args.source, args.destination
+    adaptive = None
     try:
-        if args.protocol == "etx":
+        if args.scenario:
+            from repro.protocols.adaptive import make_planner
+            from repro.scenario import (
+                load_scenario,
+                make_policy,
+                run_adaptive_session,
+            )
+
+            spec = load_scenario(
+                args.scenario,
+                duration=args.seconds,
+                epoch_seconds=min(args.epoch_seconds, args.seconds),
+            )
+            adaptive = run_adaptive_session(
+                network,
+                make_planner(args.protocol, source, destination),
+                make_policy(args.policy),
+                spec,
+                config=config,
+                rng=rng.spawn("session"),
+                tracer=tracer,
+            )
+            result = adaptive.session
+        elif args.protocol == "etx":
             plan = plan_etx_route(network, source, destination)
             result = run_unicast_session(
                 network, plan, config=config, rng=rng.spawn("session"),
@@ -175,6 +206,18 @@ def _cmd_session(args: argparse.Namespace) -> int:
     else:
         print(f"  packets:     {result.packets_delivered} delivered")
     print(f"  mean queue:  {result.mean_queue():.2f} packets")
+    if adaptive is not None:
+        print(
+            f"  scenario:    {adaptive.scenario} "
+            f"({adaptive.policy} policy)"
+        )
+        print(
+            f"  replans:     {adaptive.replans} "
+            f"({adaptive.replan_seconds:.1f} s control overhead)"
+        )
+        if any(adaptive.planner_iterations):
+            iters = ",".join(str(i) for i in adaptive.planner_iterations)
+            print(f"  rc iters:    {iters}")
     if tracer is not None:
         lines = tracer.to_jsonl(args.trace)
         print(f"  trace:       {lines} events -> {args.trace}")
@@ -200,6 +243,13 @@ def build_parser() -> argparse.ArgumentParser:
     fig2.set_defaults(func=_cmd_fig2)
     sub.add_parser("fig3", help="Fig. 3: queue sizes").set_defaults(func=_cmd_fig3)
     sub.add_parser("fig4", help="Fig. 4: utility ratios").set_defaults(func=_cmd_fig4)
+    fig5 = sub.add_parser(
+        "fig5", help="Fig. 5 (extension): re-planning under drift/failure"
+    )
+    fig5.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (~1 s)"
+    )
+    fig5.set_defaults(func=_cmd_fig5)
     sub.add_parser(
         "coding-speed", help="accelerated vs baseline codec"
     ).set_defaults(func=_cmd_coding_speed)
@@ -232,6 +282,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="PATH",
         help="export per-slot emulation events as JSON lines to PATH",
+    )
+    session.add_argument(
+        "--scenario",
+        help="run live under a scenario: builtin name ('calm', 'drift') "
+        "or JSON spec path",
+    )
+    session.add_argument(
+        "--policy",
+        default="drift",
+        help="re-planning policy: oblivious | periodic[:k] | drift[:threshold] "
+        "(default drift)",
+    )
+    session.add_argument(
+        "--epoch-seconds",
+        type=float,
+        default=10.0,
+        help="control-plane observation interval for --scenario (default 10)",
     )
     session.set_defaults(func=_cmd_session)
     return parser

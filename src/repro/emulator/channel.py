@@ -27,6 +27,25 @@ class LossyBroadcastChannel:
         self._deliveries = 0
 
     @property
+    def network(self) -> WirelessNetwork:
+        """The topology reception draws are taken against."""
+        return self._network
+
+    def set_network(self, network: WirelessNetwork) -> None:
+        """Swap the topology mid-run (link-quality drift, node failure).
+
+        The RNG stream is untouched: the channel keeps drawing from the
+        same generator, so a run whose qualities never actually change is
+        bit-identical to one that never called this.
+        """
+        if network.node_count != self._network.node_count:
+            raise ValueError(
+                "replacement network must keep the node count "
+                f"({self._network.node_count} != {network.node_count})"
+            )
+        self._network = network
+
+    @property
     def transmissions(self) -> int:
         """Broadcast transmissions carried so far."""
         return self._transmissions

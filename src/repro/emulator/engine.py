@@ -74,14 +74,13 @@ class EmulationEngine:
         self._channel = channel
         self._dt = slot_duration
         self._interference = interference
-        self._conflicts = ConflictGraph(
-            network,
-            runtimes.keys(),
-            two_hop=(interference == "conflict_free"),
-        )
         metrics = obs.resolve(registry)
-        self._scheduler = IdealMacScheduler(
-            self._conflicts, rng=scheduler_rng, registry=metrics
+        self._metrics = metrics
+        # Resolved here (not inside the scheduler) so a mid-run rebuild
+        # can hand the *same* generator to the replacement scheduler and
+        # the grant stream continues uninterrupted.
+        self._scheduler_rng = (
+            scheduler_rng if scheduler_rng is not None else np.random.default_rng(0)
         )
         self._rng = (
             capture_rng if capture_rng is not None else np.random.default_rng(1)
@@ -92,40 +91,7 @@ class EmulationEngine:
             queue_time_sum={n: 0.0 for n in runtimes},
             transmissions={n: 0 for n in runtimes},
         )
-        # ------------------------------------------------------------------
-        # Precomputed slot-loop structures (the hot path).  Participant
-        # order is the conflict graph's sorted order; per-slot state lives
-        # in preallocated ndarrays instead of rebuilt dicts.
-        # ------------------------------------------------------------------
-        participants = self._conflicts.participants
-        self._participants = participants
-        self._runtime_list = [self._runtimes[node] for node in participants]
-        count = len(participants)
-        self._backlog_buf: List[float] = [0.0] * count
-        self._weight_buf: List[float] = [0.0] * count
-        self._queue_time_buf: List[float] = [0.0] * count
-        node_count = network.node_count
-        # Node-indexed per-slot scratch: which nodes transmit this slot,
-        # and how many granted transmitters cover each node (blanking
-        # model).  Reset per slot by touched entry, not by rebuild.
-        self._granted_flags: List[bool] = [False] * node_count
-        self._covered_counts: List[int] = [0] * node_count
-        # Per transmitter, in the network's neighborhood iteration order
-        # (fixed at construction so the channel RNG mapping is stable):
-        #  - _cov_list: every geometric neighbor (coverage targets);
-        #  - _rx_pairs: (receiver, p) over neighbors that are session
-        #    runtimes; p = 0 where no usable link exists (such receivers
-        #    still count toward blanking — coverage is geometric).
-        self._cov_list: Dict[int, List[int]] = {}
-        self._rx_pairs: Dict[int, List[Tuple[int, float]]] = {}
-        for node in participants:
-            neighbors = list(network.neighbors(node))
-            self._cov_list[node] = neighbors
-            self._rx_pairs[node] = [
-                (j, network.probability(node, j))
-                for j in neighbors
-                if j in self._runtimes
-            ]
+        self._build_runtime_structures()
         scope = metrics.attach("emulator")
         self._obs_enabled = scope.enabled
         self._m_slots = scope.counter("slots", "emulation slots executed")
@@ -141,6 +107,138 @@ class EmulationEngine:
         self._m_queue = scope.histogram(
             "queue_depth", "per-node queue length sampled every slot"
         )
+
+    def _build_runtime_structures(self) -> None:
+        """(Re)compute the precomputed slot-loop structures (the hot path).
+
+        Participant order is the conflict graph's sorted order; per-slot
+        state lives in preallocated arrays instead of rebuilt dicts.
+        Derived entirely from ``self._network`` and ``self._runtimes``, so
+        the live control plane can refresh everything after a topology or
+        plan change without touching any RNG stream.
+        """
+        network = self._network
+        self._conflicts = ConflictGraph(
+            network,
+            self._runtimes.keys(),
+            two_hop=(self._interference == "conflict_free"),
+        )
+        self._scheduler = IdealMacScheduler(
+            self._conflicts, rng=self._scheduler_rng, registry=self._metrics
+        )
+        participants = self._conflicts.participants
+        self._participants = participants
+        self._runtime_list = [self._runtimes[node] for node in participants]
+        count = len(participants)
+        self._backlog_buf: List[float] = [0.0] * count
+        self._weight_buf: List[float] = [0.0] * count
+        # Queue-time accumulators carry over: a node that participated
+        # before a rebuild keeps its integral, new nodes start at zero.
+        queue_time_sum = self._stats.queue_time_sum
+        self._queue_time_buf: List[float] = [
+            queue_time_sum.get(node, 0.0) for node in participants
+        ]
+        node_count = network.node_count
+        # Node-indexed per-slot scratch: which nodes transmit this slot,
+        # and how many granted transmitters cover each node (blanking
+        # model).  Reset per slot by touched entry, not by rebuild.
+        self._granted_flags: List[bool] = [False] * node_count
+        self._covered_counts: List[int] = [0] * node_count
+        # Per transmitter, in the network's neighborhood iteration order
+        # (fixed at (re)build so the channel RNG mapping is stable):
+        #  - _cov_list: every geometric neighbor (coverage targets);
+        #  - _rx_pairs: (receiver, p) over neighbors that are session
+        #    runtimes; p = 0 where no usable link exists (such receivers
+        #    still count toward blanking — coverage is geometric).
+        self._cov_list: Dict[int, List[int]] = {}
+        self._rx_pairs: Dict[int, List[Tuple[int, float]]] = {}
+        for node in participants:
+            neighbors = list(network.neighbors(node))
+            self._cov_list[node] = neighbors
+            self._rx_pairs[node] = [
+                (j, network.probability(node, j))
+                for j in neighbors
+                if j in self._runtimes
+            ]
+
+    def rebuild_runtime_structures(
+        self, runtimes: Optional[Dict[int, NodeRuntime]] = None
+    ) -> None:
+        """Refresh the precomputed slot-loop structures mid-run.
+
+        The live control plane calls this after hot-swapping a plan
+        (optionally replacing the runtime set: new forwarders appear,
+        silenced ones may be dropped) or after :meth:`set_network`.
+        Scheduler, channel and capture RNG streams are preserved, so a
+        rebuild that changes nothing is invisible: the subsequent trace is
+        bit-identical to a run that never rebuilt.
+        """
+        self._flush_queue_stats()
+        if runtimes is not None:
+            for node, runtime in runtimes.items():
+                if runtime.node_id != node:
+                    raise ValueError(
+                        f"runtime for node {node} reports id {runtime.node_id}"
+                    )
+            self._runtimes = dict(runtimes)
+        stats = self._stats
+        for node in self._runtimes:
+            stats.queue_time_sum.setdefault(node, 0.0)
+            stats.transmissions.setdefault(node, 0)
+        self._build_runtime_structures()
+
+    def set_network(self, network: WirelessNetwork) -> None:
+        """Swap the topology mid-run (drift epoch, node failure/recovery).
+
+        Updates the channel's loss model and refreshes every precomputed
+        neighbor/receiver structure.  Geometry must be preserved (same
+        node count) — scenario dynamics move link qualities, not nodes.
+        """
+        if network.node_count != self._network.node_count:
+            raise ValueError(
+                "replacement network must keep the node count "
+                f"({self._network.node_count} != {network.node_count})"
+            )
+        self._network = network
+        self._channel.set_network(network)
+        self.rebuild_runtime_structures()
+
+    @property
+    def runtimes(self) -> Dict[int, NodeRuntime]:
+        """The live per-node runtimes (shared objects, not copies)."""
+        return dict(self._runtimes)
+
+    @property
+    def network(self) -> WirelessNetwork:
+        """The topology currently being emulated."""
+        return self._network
+
+    def advance_idle(self, slots: int) -> None:
+        """Advance time with the data plane stalled (control-plane cost).
+
+        Models the paper Sec. 4 re-initiation overhead: the node-selection
+        flood and the rate-control message census occupy the channel for
+        ``replan_cost().channel_seconds``, during which the session moves
+        no data.  Queues hold their occupancy (their time-integral keeps
+        accruing), credits do not accrue, and **no RNG stream is
+        consumed**, so a zero-slot stall is exactly a no-op.
+        """
+        if slots < 0:
+            raise ValueError(f"slots must be >= 0, got {slots}")
+        if slots == 0:
+            return
+        queue_times = self._queue_time_buf
+        for index, runtime in enumerate(self._runtime_list):
+            queue_length = runtime.queue_length()
+            queue_times[index] += queue_length * slots
+            if self._obs_enabled:
+                self._m_queue.observe(queue_length)
+        stats = self._stats
+        stats.slots += slots
+        stats.elapsed += slots * self._dt
+        if self._obs_enabled:
+            self._m_slots.inc(slots)
+            self._m_time.set(stats.elapsed)
 
     @property
     def stats(self) -> EngineStats:

@@ -34,12 +34,27 @@ from repro.coding.packet import CodedPacket
 
 DEFAULT_QUEUE_LIMIT = 500
 
+# Distinguishes "parameter not supplied" from an explicit None (which is
+# meaningful for UnicastRuntime.apply_plan's next_hop).
+_UNSET = object()
+
 
 class NodeRuntime:
     """Interface every emulated node implements."""
 
     def __init__(self, node_id: int) -> None:
         self.node_id = node_id
+
+    def apply_plan(self, **_params: object) -> None:
+        """Hot-swap control-plane parameters without touching data state.
+
+        The live control plane (see :mod:`repro.scenario`) calls this when
+        a re-plan changes a node's allocation mid-run.  Buffers, decoder
+        progress and generation counters persist — only rates / credits /
+        routes move.  The base implementation ignores everything
+        (destinations carry no plan state); rate-, credit- and path-driven
+        runtimes override it with strict validation.
+        """
 
     def on_slot(self, dt: float) -> None:
         """Advance local clocks/credits by one slot of ``dt`` seconds."""
@@ -124,6 +139,12 @@ class CodedSourceRuntime(NodeRuntime):
             self._rng,
             payload=False,
         )
+
+    def apply_plan(self, *, rate_bps: float) -> None:
+        """Hot-swap the allocated source rate; encoder and queue persist."""
+        if rate_bps < 0:
+            raise ValueError(f"rate_bps must be >= 0, got {rate_bps}")
+        self._rate = rate_bps
 
     def on_slot(self, dt: float) -> None:
         self._credit += self._rate * dt / self._packet_bytes
@@ -229,6 +250,37 @@ class CodedRelayRuntime(NodeRuntime):
     def buffered(self) -> int:
         """Innovative packets currently buffered."""
         return self._buffer.buffered
+
+    def apply_plan(
+        self,
+        *,
+        mode: Optional[str] = None,
+        rate_bps: Optional[float] = None,
+        tx_credit: Optional[float] = None,
+        upstream: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        """Hot-swap rate/credit parameters; the coding buffer persists.
+
+        A re-plan may move the allocated rate (OMNC), the per-reception
+        credit and upstream set (MORE/oldMORE), or even the drive mode.
+        Buffered innovative packets, the transmit queue and banked credit
+        all survive — the whole point of a live swap is not to throw away
+        decoder-feeding state the session already paid airtime for.
+        """
+        if mode is not None:
+            if mode not in ("rate", "credit"):
+                raise ValueError(f"unknown relay mode {mode!r}")
+            self._mode = mode
+        if rate_bps is not None:
+            if rate_bps < 0:
+                raise ValueError(f"rate_bps must be >= 0, got {rate_bps}")
+            self._rate = rate_bps
+        if tx_credit is not None:
+            if tx_credit < 0:
+                raise ValueError(f"tx_credit must be >= 0, got {tx_credit}")
+            self._tx_credit = tx_credit
+        if upstream is not None:
+            self._upstream = frozenset(upstream)
 
     def on_slot(self, dt: float) -> None:
         if self._mode == "rate":
@@ -426,6 +478,12 @@ class FlowSourceRuntime(NodeRuntime):
         self.packets_sent = 0
         self.packets_dropped = 0
 
+    def apply_plan(self, *, rate_bps: float) -> None:
+        """Hot-swap the allocated source rate; queue and credit persist."""
+        if rate_bps < 0:
+            raise ValueError(f"rate_bps must be >= 0, got {rate_bps}")
+        self._rate = rate_bps
+
     def on_slot(self, dt: float) -> None:
         self._credit += self._rate * dt / self._packet_bytes
         while self._credit >= 1.0:
@@ -515,6 +573,30 @@ class FlowRelayRuntime(NodeRuntime):
     def buffered(self) -> int:
         """Information units held (the flow analogue of buffer rank)."""
         return int(self.information)
+
+    def apply_plan(
+        self,
+        *,
+        mode: Optional[str] = None,
+        rate_bps: Optional[float] = None,
+        tx_credit: Optional[float] = None,
+        upstream: Optional[Tuple[int, ...]] = None,
+    ) -> None:
+        """Hot-swap rate/credit parameters; the information level persists."""
+        if mode is not None:
+            if mode not in ("rate", "credit"):
+                raise ValueError(f"unknown relay mode {mode!r}")
+            self._mode = mode
+        if rate_bps is not None:
+            if rate_bps < 0:
+                raise ValueError(f"rate_bps must be >= 0, got {rate_bps}")
+            self._rate = rate_bps
+        if tx_credit is not None:
+            if tx_credit < 0:
+                raise ValueError(f"tx_credit must be >= 0, got {tx_credit}")
+            self._tx_credit = tx_credit
+        if upstream is not None:
+            self._upstream = frozenset(upstream)
 
     def on_slot(self, dt: float) -> None:
         if self._mode == "rate":
@@ -673,6 +755,33 @@ class UnicastRuntime(NodeRuntime):
     def next_hop(self) -> Optional[int]:
         """Downstream node, or None at the destination."""
         return self._next_hop
+
+    def apply_plan(
+        self,
+        *,
+        next_hop: object = _UNSET,
+        rate_bps: Optional[float] = None,
+        demand_hint_bps: Optional[float] = None,
+    ) -> None:
+        """Hot-swap the route/rate; queued packets survive the re-route.
+
+        ``next_hop`` uses a sentinel default because ``None`` is a
+        meaningful value (the node becomes/stays the sink).
+        """
+        if next_hop is not _UNSET:
+            if next_hop is not None and not isinstance(next_hop, int):
+                raise ValueError(f"next_hop must be an int or None, got {next_hop!r}")
+            self._next_hop = next_hop
+        if rate_bps is not None:
+            if rate_bps < 0:
+                raise ValueError(f"rate_bps must be >= 0, got {rate_bps}")
+            self._rate = rate_bps
+        if demand_hint_bps is not None:
+            if demand_hint_bps < 0:
+                raise ValueError(
+                    f"demand_hint_bps must be >= 0, got {demand_hint_bps}"
+                )
+            self._demand_hint = demand_hint_bps
 
     def on_slot(self, dt: float) -> None:
         if self._rate <= 0:

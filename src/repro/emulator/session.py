@@ -189,6 +189,53 @@ class _AckTracker:
             self.pending_advance = None
 
 
+def build_plan_runtimes(
+    network: WirelessNetwork,
+    plan,
+    *,
+    session_id: int = 1,
+    config: Optional[SessionConfig] = None,
+    rng: Optional[RngFactory] = None,
+    on_decoded: Optional[callable] = None,
+    on_delivered: Optional[callable] = None,
+) -> Tuple[Dict[int, NodeRuntime], str]:
+    """Construct the per-node runtimes any plan type needs, plus a label.
+
+    The public seam shared by the session drivers below and the live
+    control plane (:mod:`repro.scenario.runner`): coded plans include
+    the destination runtime (wired to ``on_decoded``), unicast plans
+    wire the destination's delivery callback to ``on_delivered``.
+    """
+    config = config or SessionConfig()
+    rng = rng or RngFactory(0)
+    if isinstance(plan, CodedBroadcastPlan):
+        runtimes, label = _build_rate_runtimes(
+            network, plan, session_id, config, rng
+        )
+    elif isinstance(plan, CreditBroadcastPlan):
+        runtimes, label = _build_credit_runtimes(
+            network, plan, session_id, config, rng
+        )
+    elif isinstance(plan, UnicastPathPlan):
+        return (
+            _build_unicast_runtimes(network, plan, config, on_delivered),
+            "etx",
+        )
+    else:
+        raise TypeError(f"unsupported plan type {type(plan).__name__}")
+    destination = plan.forwarders.destination
+    decoded = on_decoded if on_decoded is not None else (lambda _gen: None)
+    if config.coding_fidelity == "exact":
+        runtimes[destination] = CodedDestinationRuntime(
+            destination, session_id, config.blocks, decoded
+        )
+    else:
+        runtimes[destination] = FlowDestinationRuntime(
+            destination, session_id, config.blocks, decoded
+        )
+    return runtimes, label
+
+
 def run_coded_session(
     network: WirelessNetwork,
     plan,
@@ -209,29 +256,21 @@ def run_coded_session(
     """
     config = config or SessionConfig()
     rng = rng or RngFactory(0)
-    if isinstance(plan, CodedBroadcastPlan):
-        runtimes, label = _build_rate_runtimes(
-            network, plan, session_id, config, rng
-        )
-    elif isinstance(plan, CreditBroadcastPlan):
-        runtimes, label = _build_credit_runtimes(
-            network, plan, session_id, config, rng
-        )
-    else:
+    if not isinstance(plan, (CodedBroadcastPlan, CreditBroadcastPlan)):
         raise TypeError(f"unsupported plan type {type(plan).__name__}")
     source = plan.forwarders.source
     destination = plan.forwarders.destination
 
     tracker = _AckTracker()
-    if config.coding_fidelity == "exact":
-        dest_runtime = CodedDestinationRuntime(
-            destination, session_id, config.blocks, tracker.on_decoded
-        )
-    else:
-        dest_runtime = FlowDestinationRuntime(
-            destination, session_id, config.blocks, tracker.on_decoded
-        )
-    runtimes[destination] = dest_runtime
+    runtimes, label = build_plan_runtimes(
+        network,
+        plan,
+        session_id=session_id,
+        config=config,
+        rng=rng,
+        on_decoded=tracker.on_decoded,
+    )
+    dest_runtime = runtimes[destination]
 
     channel = LossyBroadcastChannel(network, rng=rng.derive("channel"))
     slot = config.coded_packet_bytes() / network.capacity
@@ -441,6 +480,45 @@ def _coded_result(
     )
 
 
+def _build_unicast_runtimes(
+    network: WirelessNetwork,
+    plan: UnicastPathPlan,
+    config: SessionConfig,
+    on_delivered: Optional[callable],
+) -> Dict[int, NodeRuntime]:
+    """ETX: store-and-forward runtimes along the planned path."""
+    cbr = config.cbr_fraction * network.capacity
+    packet_bytes = config.unicast_packet_bytes()
+    runtimes: Dict[int, NodeRuntime] = {}
+    for index, node in enumerate(plan.path):
+        next_hop = plan.path[index + 1] if index + 1 < len(plan.path) else None
+        rate = cbr if node == plan.source else 0.0
+        runtimes[node] = UnicastRuntime(
+            node,
+            next_hop,
+            rate_bps=rate,
+            packet_bytes=packet_bytes,
+            queue_limit=config.queue_limit,
+            on_delivered=on_delivered,
+            demand_hint_bps=unicast_demand_hint(network, node, next_hop, cbr),
+        )
+    return runtimes
+
+
+def unicast_demand_hint(
+    network: WirelessNetwork,
+    node: int,
+    next_hop: Optional[int],
+    cbr: float,
+) -> float:
+    """Airtime demand of a path node: offered load inflated by the hop's
+    expected retransmission count (MAC retries on the lossy link)."""
+    if next_hop is None:
+        return 0.0
+    hop_p = max(network.probability(node, next_hop), 1e-3)
+    return cbr / hop_p
+
+
 def run_unicast_session(
     network: WirelessNetwork,
     plan: UnicastPathPlan,
@@ -453,33 +531,13 @@ def run_unicast_session(
     """Emulate one ETX best-path session with MAC retransmissions."""
     config = config or SessionConfig()
     rng = rng or RngFactory(0)
-    cbr = config.cbr_fraction * network.capacity
     packet_bytes = config.unicast_packet_bytes()
     delivered_count = [0]
 
     def on_delivered(_sequence: int) -> None:
         delivered_count[0] += 1
 
-    runtimes: Dict[int, NodeRuntime] = {}
-    for index, node in enumerate(plan.path):
-        next_hop = plan.path[index + 1] if index + 1 < len(plan.path) else None
-        rate = cbr if node == plan.source else 0.0
-        if next_hop is not None:
-            # Airtime demand: offered load inflated by the hop's expected
-            # retransmission count (MAC retries on the lossy link).
-            hop_p = max(network.probability(node, next_hop), 1e-3)
-            demand = cbr / hop_p
-        else:
-            demand = 0.0
-        runtimes[node] = UnicastRuntime(
-            node,
-            next_hop,
-            rate_bps=rate,
-            packet_bytes=packet_bytes,
-            queue_limit=config.queue_limit,
-            on_delivered=on_delivered,
-            demand_hint_bps=demand,
-        )
+    runtimes = _build_unicast_runtimes(network, plan, config, on_delivered)
     channel = LossyBroadcastChannel(network, rng=rng.derive("channel"))
     slot = packet_bytes / network.capacity
     engine = EmulationEngine(

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, Optional, Tuple, Union
 
-EVENT_KINDS = ("grant", "tx", "delivery", "ack")
+EVENT_KINDS = ("grant", "tx", "delivery", "ack", "replan")
 
 
 @dataclass(frozen=True)
@@ -35,7 +35,8 @@ class TraceEvent:
         slot: slot index when the event occurred.
         time: emulated seconds.
         kind: one of :data:`EVENT_KINDS`.
-        node: primary node (transmitter, or destination for acks).
+        node: primary node (transmitter, or destination for acks; -1 for
+            session-wide events like acks and replans).
         peer: secondary node (receiver for deliveries), or None.
         detail: free-form small payload (e.g. generation id for acks).
     """

@@ -23,6 +23,7 @@ from repro.optimization.problem import (
 from repro.optimization.rate_control import (
     RateControlAlgorithm,
     RateControlConfig,
+    RateControlDuals,
     RateControlResult,
     feasible_scaling,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "InfeasibleSessionError",
     "RateControlAlgorithm",
     "RateControlConfig",
+    "RateControlDuals",
     "RateControlResult",
     "SUnicastSolution",
     "SessionGraph",

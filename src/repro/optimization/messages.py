@@ -36,7 +36,11 @@ from typing import Dict, List, Optional, Tuple
 import numpy as np
 
 from repro.optimization.problem import SessionGraph
-from repro.optimization.rate_control import RateControlConfig, RateControlResult
+from repro.optimization.rate_control import (
+    RateControlConfig,
+    RateControlDuals,
+    RateControlResult,
+)
 from repro.optimization.recovery import IterateAverager
 from repro.optimization.subgradient import project_nonnegative
 from repro.topology.graph import Link
@@ -304,6 +308,9 @@ class MessagePassingRateControl:
                     converged = True
                     break
             previous = recovered
+        link_prices: Dict[Link, float] = {}
+        for state in self._nodes.values():
+            link_prices.update(state.prices)
         return RateControlResult(
             broadcast_rates=self.recovered_rates(),
             flows=self.recovered_flows(),
@@ -313,4 +320,15 @@ class MessagePassingRateControl:
             rate_history=tuple(self._rate_history),
             gamma_history=tuple(self._gamma_history),
             capacity=self._graph.capacity,
+            duals=RateControlDuals(
+                link_prices=link_prices,
+                congestion_prices={
+                    n: s.beta for n, s in self._nodes.items()
+                },
+                union_prices={
+                    n: s.union_price for n, s in self._nodes.items()
+                },
+                rates={n: s.rate for n, s in self._nodes.items()},
+                iteration=self._iteration,
+            ),
         )

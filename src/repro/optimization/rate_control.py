@@ -97,6 +97,52 @@ class RateControlConfig:
 
 
 @dataclass(frozen=True)
+class RateControlDuals:
+    """Final optimizer state a re-plan can warm-start from.
+
+    The paper concedes (Sec. 4) that when link qualities drift "the node
+    selection and rate allocation have to be re-initiated".  After mild
+    drift the optimum moves little, so restarting the subgradient method
+    from the previous dual prices — instead of Table 1 step 1's zeros —
+    re-converges in far fewer iterations.  This is the *public* warm-start
+    surface: everything here is read off :class:`RateControlResult`, never
+    out of solver internals.
+
+    Attributes:
+        link_prices: final Lagrange multipliers lambda_ij of the
+            loss-coupling constraint (5).
+        congestion_prices: final congestion prices beta_i of the MAC
+            constraint (4).
+        union_prices: final multipliers mu_i of the broadcast information
+            constraint (5b).
+        rates: final instantaneous broadcast rates b(t) (primal
+            warm start for the proximal update (17)).
+        iteration: outer iterations the producing run had executed —
+            continuing the diminishing step-size schedule theta(t) from
+            here keeps the warm duals from being kicked away by the large
+            early steps.
+    """
+
+    link_prices: Dict[Link, float]
+    congestion_prices: Dict[int, float]
+    union_prices: Dict[int, float]
+    rates: Dict[int, float]
+    iteration: int
+
+    def __post_init__(self) -> None:
+        for label, prices in (
+            ("link", self.link_prices),
+            ("congestion", self.congestion_prices),
+            ("union", self.union_prices),
+        ):
+            for key, value in prices.items():
+                if value < 0:
+                    raise ValueError(f"negative {label} price on {key}: {value}")
+        if self.iteration < 0:
+            raise ValueError(f"iteration must be >= 0, got {self.iteration}")
+
+
+@dataclass(frozen=True)
 class RateControlResult:
     """Outcome of one rate-control run.
 
@@ -110,6 +156,8 @@ class RateControlResult:
         rate_history: per-iteration recovered b_bar snapshots (Fig. 1).
         gamma_history: per-iteration recovered throughput.
         capacity: channel capacity for denormalization.
+        duals: final dual prices (lambda, beta, mu) and primal iterate —
+            pass as ``warm_start`` to a later run on a drifted topology.
     """
 
     broadcast_rates: Dict[int, float]
@@ -120,6 +168,17 @@ class RateControlResult:
     rate_history: Tuple[Dict[int, float], ...]
     gamma_history: Tuple[float, ...]
     capacity: float
+    duals: Optional[RateControlDuals] = None
+
+    @property
+    def link_prices(self) -> Dict[Link, float]:
+        """Final lambda_ij (empty when the run recorded no duals)."""
+        return dict(self.duals.link_prices) if self.duals else {}
+
+    @property
+    def congestion_prices(self) -> Dict[int, float]:
+        """Final beta_i (empty when the run recorded no duals)."""
+        return dict(self.duals.congestion_prices) if self.duals else {}
 
     def rates_bytes_per_second(self) -> Dict[int, float]:
         """Broadcast rates in bytes/second."""
@@ -155,6 +214,7 @@ class RateControlAlgorithm:
         graph: SessionGraph,
         config: Optional[RateControlConfig] = None,
         *,
+        warm_start: Optional[RateControlDuals] = None,
         registry: Optional[obs.MetricsRegistry] = None,
         tracer: Optional[obs.EventTracer] = None,
     ) -> None:
@@ -172,13 +232,27 @@ class RateControlAlgorithm:
             initial_rate=self._config.initial_rate,
             primal_recovery=self._config.primal_recovery,
             recovery_tail=self._config.recovery_tail,
+            initial_rates=warm_start.rates if warm_start else None,
+            initial_beta=warm_start.congestion_prices if warm_start else None,
         )
-        self._prices: Dict[Link, float] = {link: 0.0 for link in graph.links}
+        # Warm start (re-planning after drift): seed the duals from the
+        # previous run's final prices instead of Table 1 step 1's zeros.
+        # Keys are matched by .get() — drift preserves the link set, but a
+        # changed forwarder DAG simply leaves the new links at 0.
+        warm_links = warm_start.link_prices if warm_start else {}
+        warm_union = warm_start.union_prices if warm_start else {}
+        self._prices: Dict[Link, float] = {
+            link: warm_links.get(link, 0.0) for link in graph.links
+        }
         # Multipliers of the broadcast information constraint (5b):
         # sum_j x_ij <= b_i * q_i (see repro.optimization.sunicast).
         self._union_prices: Dict[int, float] = {
-            node: 0.0 for node in graph.transmitters()
+            node: warm_union.get(node, 0.0) for node in graph.transmitters()
         }
+        # Continue the diminishing step-size schedule where the previous
+        # run stopped: replaying the large early theta(t) would throw the
+        # warm duals right back to a cold trajectory.
+        self._step_offset = warm_start.iteration if warm_start else 0
         self._iteration = 0
         scope = obs.resolve(registry).attach("optimizer")
         self._tracer = obs.resolve_tracer(tracer)
@@ -215,7 +289,7 @@ class RateControlAlgorithm:
 
     def step(self) -> None:
         """One outer iteration: SUB1, SUB2, multiplier update (steps 3-5)."""
-        theta = self._config.step_size(self._iteration)
+        theta = self._config.step_size(self._iteration + self._step_offset)
         # SUB1 sees the total price of routing one unit over link (i, j):
         # the per-link price lambda_ij plus the transmitter's aggregate
         # broadcast-information price mu_i.
@@ -288,6 +362,13 @@ class RateControlAlgorithm:
             rate_history=tuple(rate_history),
             gamma_history=tuple(gamma_history),
             capacity=self._graph.capacity,
+            duals=RateControlDuals(
+                link_prices=dict(self._prices),
+                congestion_prices=self._sub2.congestion_prices,
+                union_prices=dict(self._union_prices),
+                rates=self._sub2.rates,
+                iteration=self._iteration + self._step_offset,
+            ),
         )
 
     def _observe_iteration(

@@ -60,6 +60,8 @@ class Sub2RateAllocator:
         initial_rate: float = 0.01,
         primal_recovery: bool = True,
         recovery_tail: float = 0.5,
+        initial_rates: Optional[Dict[int, float]] = None,
+        initial_beta: Optional[Dict[int, float]] = None,
     ) -> None:
         if proximal_c <= 0:
             raise ValueError(f"proximal_c must be > 0, got {proximal_c}")
@@ -69,13 +71,19 @@ class Sub2RateAllocator:
         self._proximal_c = proximal_c
         self._primal_recovery = primal_recovery
         # "Set elements in b ... to small positive numbers. Initialize the
-        # dual variables to 0." (Table 1, step 1.)
+        # dual variables to 0." (Table 1, step 1.)  A warm re-plan instead
+        # seeds b(t) / beta(t) from a previous run's final iterate (values
+        # clipped back into the feasible box; missing nodes cold-start).
+        warm_rates = initial_rates or {}
+        warm_beta = initial_beta or {}
         self._rates: Dict[int, float] = {
-            node: initial_rate for node in graph.nodes
+            node: min(1.0, max(0.0, warm_rates.get(node, initial_rate)))
+            for node in graph.nodes
         }
         self._rates[graph.destination] = 0.0  # destination never broadcasts
         self._beta: Dict[int, float] = {
-            node: 0.0 for node in graph.mac_constrained_nodes()
+            node: max(0.0, warm_beta.get(node, 0.0))
+            for node in graph.mac_constrained_nodes()
         }
         self._node_order = list(graph.nodes)
         self._averager = IterateAverager(len(self._node_order), tail=recovery_tail)

@@ -1,0 +1,184 @@
+"""Adaptive controllers: each protocol as a re-planning agent.
+
+The static protocol modules expose one-shot planners (topology in, plan
+out).  The live control plane instead needs a stateful *controller* it
+can call repeatedly as the topology drifts:
+
+* **OMNC** re-runs node selection and distributed rate control,
+  warm-started from the previous run's dual prices
+  (:class:`~repro.optimization.rate_control.RateControlDuals`) so
+  re-convergence takes far fewer subgradient iterations than a cold
+  start — the paper's Sec. 4 overhead argument, made quantitative;
+* **MORE / oldMORE** recompute their heuristic TX credits (stateless,
+  but still paying the node-selection flood);
+* **ETX** re-routes over the drifted qualities.
+
+Every controller also prices one re-initiation in channel-seconds
+(:meth:`AdaptivePlanner.control_cost_seconds`), which the runner charges
+against the data plane as stalled airtime.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.optimization.rate_control import RateControlConfig, RateControlDuals
+from repro.protocols.etx_routing import plan_etx_route
+from repro.protocols.more import plan_more
+from repro.protocols.oldmore import plan_oldmore
+from repro.protocols.omnc import plan_omnc_detailed
+from repro.routing.pseudo_broadcast import reliable_flood
+from repro.topology.dynamics import replan_cost
+from repro.topology.graph import WirelessNetwork
+
+DEFAULT_CONTROL_PACKET_BYTES = 64
+
+
+class AdaptivePlanner:
+    """Base controller: plan, re-plan, and price a re-initiation."""
+
+    label = "base"
+
+    def __init__(self, source: int, destination: int) -> None:
+        if source == destination:
+            raise ValueError("source and destination must differ")
+        self._source = source
+        self._destination = destination
+        self._iterations: List[int] = []
+
+    @property
+    def source(self) -> int:
+        """Session source."""
+        return self._source
+
+    @property
+    def destination(self) -> int:
+        """Session destination."""
+        return self._destination
+
+    @property
+    def iterations_history(self) -> Tuple[int, ...]:
+        """Rate-control iterations of every plan produced so far (0 for
+        protocols without iterative rate control) — the warm-start
+        evidence trail."""
+        return tuple(self._iterations)
+
+    def plan(self, network: WirelessNetwork):
+        """Produce a plan for the current topology (warm where supported)."""
+        raise NotImplementedError
+
+    def control_cost_seconds(self, network: WirelessNetwork) -> float:
+        """Channel-seconds one re-initiation occupies on this topology."""
+        raise NotImplementedError
+
+    def _flood_seconds(self, network: WirelessNetwork) -> float:
+        """Airtime of the node-selection pseudo-broadcast flood."""
+        flood = reliable_flood(network, self._source)
+        return (
+            flood.total_transmissions
+            * DEFAULT_CONTROL_PACKET_BYTES
+            / network.capacity
+        )
+
+
+class AdaptiveOmncPlanner(AdaptivePlanner):
+    """OMNC with dual-price carry-over between re-plans."""
+
+    label = "omnc"
+
+    def __init__(
+        self,
+        source: int,
+        destination: int,
+        *,
+        config: Optional[RateControlConfig] = None,
+    ) -> None:
+        super().__init__(source, destination)
+        self._config = config
+        self._duals: Optional[RateControlDuals] = None
+
+    @property
+    def duals(self) -> Optional[RateControlDuals]:
+        """Dual prices of the latest plan (the warm-start state)."""
+        return self._duals
+
+    def plan(self, network: WirelessNetwork):
+        report = plan_omnc_detailed(
+            network,
+            self._source,
+            self._destination,
+            config=self._config,
+            warm_start=self._duals,
+        )
+        self._duals = report.duals
+        self._iterations.append(report.plan.iterations)
+        return report.plan
+
+    def control_cost_seconds(self, network: WirelessNetwork) -> float:
+        # Full Sec. 4 re-initiation: flood + rate-control message census,
+        # measured by actually running both on the new topology.
+        return replan_cost(
+            network,
+            self._source,
+            self._destination,
+            control_packet_bytes=DEFAULT_CONTROL_PACKET_BYTES,
+            config=self._config,
+        ).channel_seconds
+
+
+class AdaptiveMorePlanner(AdaptivePlanner):
+    """MORE: recompute heuristic credits; overhead is the flood only."""
+
+    label = "more"
+
+    def plan(self, network: WirelessNetwork):
+        self._iterations.append(0)
+        return plan_more(network, self._source, self._destination)
+
+    def control_cost_seconds(self, network: WirelessNetwork) -> float:
+        return self._flood_seconds(network)
+
+
+class AdaptiveOldMorePlanner(AdaptivePlanner):
+    """oldMORE: like MORE but with the min-cost credit computation."""
+
+    label = "oldmore"
+
+    def plan(self, network: WirelessNetwork):
+        self._iterations.append(0)
+        return plan_oldmore(network, self._source, self._destination)
+
+    def control_cost_seconds(self, network: WirelessNetwork) -> float:
+        return self._flood_seconds(network)
+
+
+class AdaptiveEtxPlanner(AdaptivePlanner):
+    """ETX: re-route; overhead is the link-state dissemination flood."""
+
+    label = "etx"
+
+    def plan(self, network: WirelessNetwork):
+        self._iterations.append(0)
+        return plan_etx_route(network, self._source, self._destination)
+
+    def control_cost_seconds(self, network: WirelessNetwork) -> float:
+        return self._flood_seconds(network)
+
+
+def make_planner(
+    protocol: str,
+    source: int,
+    destination: int,
+    *,
+    config: Optional[RateControlConfig] = None,
+) -> AdaptivePlanner:
+    """Controller factory keyed by the CLI's protocol names."""
+    if protocol == "omnc":
+        return AdaptiveOmncPlanner(source, destination, config=config)
+    if protocol == "more":
+        return AdaptiveMorePlanner(source, destination)
+    if protocol == "oldmore":
+        return AdaptiveOldMorePlanner(source, destination)
+    if protocol == "etx":
+        return AdaptiveEtxPlanner(source, destination)
+    raise ValueError(f"unknown protocol {protocol!r}")

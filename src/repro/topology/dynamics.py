@@ -21,14 +21,14 @@ This module supplies the machinery to study exactly that trade-off:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import TYPE_CHECKING, Dict, Optional
 
 import numpy as np
 
 from repro.topology.graph import Link, WirelessNetwork
 from repro.util.rng import RngLike, as_rng
 
-if False:  # pragma: no cover - type-checking aid without import cycles
+if TYPE_CHECKING:  # type-checking aid without import cycles
     from repro.optimization.rate_control import RateControlConfig
 
 
@@ -64,23 +64,35 @@ def perturb_link_qualities(
     )
 
 
-def quality_drift(before: WirelessNetwork, after: WirelessNetwork) -> float:
+def quality_drift(
+    before: WirelessNetwork,
+    after: WirelessNetwork,
+    *,
+    strict: bool = True,
+) -> float:
     """Mean absolute link-probability change between two snapshots.
 
-    Both networks must describe the same link set (same geometry); this
-    is the magnitude a deployment's probing would observe and compare
-    against its re-planning threshold.
+    This is the magnitude a deployment's probing would observe and
+    compare against its re-planning threshold.  By default both networks
+    must describe the same link set (same geometry); with
+    ``strict=False`` the mean runs over the *union* of link sets and a
+    link absent from one snapshot counts as probability 0 there — the
+    natural reading of a node failure, where every link touching the
+    failed node disappears.  Both conventions agree when the link sets
+    match.
     """
     links_before = {(i, j): p for i, j, p in before.links()}
     links_after = {(i, j): p for i, j, p in after.links()}
-    if set(links_before) != set(links_after):
+    if strict and set(links_before) != set(links_after):
         raise ValueError("networks have different link sets")
-    if not links_before:
+    union = set(links_before) | set(links_after)
+    if not union:
         return 0.0
     total = sum(
-        abs(links_after[link] - p) for link, p in links_before.items()
+        abs(links_after.get(link, 0.0) - links_before.get(link, 0.0))
+        for link in union
     )
-    return total / len(links_before)
+    return total / len(union)
 
 
 @dataclass(frozen=True)

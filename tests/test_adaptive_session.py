@@ -1,0 +1,294 @@
+"""Live control plane: hot-swap machinery and the adaptive runner.
+
+The tentpole invariants:
+
+* a calm scenario under an oblivious policy is *bit-identical* to the
+  static session drivers (the adaptive layer adds nothing when nothing
+  happens);
+* a fixed seed plus a fixed scenario reproduces the exact same run;
+* re-plans charge overhead, survive planning failures, and appear in
+  traces and epoch records.
+"""
+
+import pytest
+
+from repro.emulator.channel import LossyBroadcastChannel
+from repro.emulator.engine import EmulationEngine
+from repro.emulator.node import (
+    FlowDestinationRuntime,
+    FlowRelayRuntime,
+    FlowSourceRuntime,
+    UnicastRuntime,
+)
+from repro.emulator.session import (
+    SessionConfig,
+    build_plan_runtimes,
+    run_coded_session,
+    run_unicast_session,
+)
+from repro.emulator.trace import SessionTracer
+from repro.protocols.adaptive import make_planner
+from repro.protocols.etx_routing import plan_etx_route
+from repro.protocols.more import plan_more
+from repro.protocols.omnc import plan_omnc
+from repro.routing.node_selection import NodeSelectionError
+from repro.scenario import (
+    ScenarioEvent,
+    ScenarioSpec,
+    builtin_scenario,
+    make_policy,
+    run_adaptive_session,
+)
+from repro.topology.phy import lossy_phy
+from repro.topology.random_network import random_network
+from repro.util.rng import RngFactory
+
+
+@pytest.fixture(scope="module")
+def net_pair():
+    """A 30-node lossy network plus a session pair with real relays."""
+    rng = RngFactory(11)
+    network = random_network(
+        30, phy=lossy_phy(rng=rng.derive("phy")), rng=rng.derive("topology")
+    )
+    for source in range(network.node_count):
+        for destination in range(network.node_count - 1, -1, -1):
+            if source == destination:
+                continue
+            try:
+                plan = plan_more(network, source, destination)
+            except NodeSelectionError:
+                continue
+            if len(plan.forwarders.nodes) >= 4:
+                return network, source, destination
+    raise RuntimeError("no feasible session on the test network")
+
+
+class TestApplyPlan:
+    def test_source_rate_swap(self):
+        source = FlowSourceRuntime(0, 1, 8, 4000.0, 1000)
+        assert source.demand_rate(1.0) == pytest.approx(4.0)
+        source.apply_plan(rate_bps=2000.0)
+        assert source.demand_rate(1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError, match=">= 0"):
+            source.apply_plan(rate_bps=-1.0)
+
+    def test_source_swap_keeps_queue(self):
+        source = FlowSourceRuntime(0, 1, 8, 4000.0, 1000)
+        source.on_slot(1.0)  # generates 4 packets
+        queued = source.backlog()
+        assert queued > 0
+        source.apply_plan(rate_bps=0.0)
+        assert source.backlog() == queued
+
+    def test_relay_validation_and_mode_switch(self):
+        relay = FlowRelayRuntime(1, 1, 8, 1000, mode="rate", rate_bps=1000.0)
+        with pytest.raises(ValueError, match="unknown relay mode"):
+            relay.apply_plan(mode="chaotic")
+        with pytest.raises(ValueError, match="tx_credit"):
+            relay.apply_plan(tx_credit=-0.5)
+        with pytest.raises(ValueError, match="rate_bps"):
+            relay.apply_plan(rate_bps=-1.0)
+        relay.apply_plan(mode="credit", tx_credit=1.5, upstream=(0,))
+        relay.apply_plan(mode="rate", rate_bps=500.0)
+
+    def test_relay_swap_keeps_information(self):
+        relay = FlowRelayRuntime(1, 1, 8, 1000, mode="rate", rate_bps=1000.0)
+        relay.information = 3.0
+        relay.apply_plan(rate_bps=2000.0)
+        assert relay.information == 3.0
+
+    def test_unicast_route_swap(self):
+        node = UnicastRuntime(0, 1, rate_bps=1000.0, packet_bytes=1000)
+        with pytest.raises(ValueError, match="next_hop"):
+            node.apply_plan(next_hop="two")
+        with pytest.raises(ValueError, match="demand_hint"):
+            node.apply_plan(demand_hint_bps=-1.0)
+        node.apply_plan(next_hop=2)
+        assert node.next_hop == 2
+        node.apply_plan()  # no parameters: exact no-op
+        assert node.next_hop == 2
+        node.apply_plan(next_hop=None, rate_bps=0.0)  # becomes the sink
+        assert node.next_hop is None
+
+    def test_destination_ignores_parameters(self):
+        destination = FlowDestinationRuntime(3, 1, 8, lambda _gen: None)
+        destination.apply_plan(rate_bps=123.0, anything="goes")
+
+
+def _make_engine(network, plan, config, seed, tracer=None):
+    rng = RngFactory(seed)
+    runtimes, _label = build_plan_runtimes(network, plan, config=config, rng=rng)
+    channel = LossyBroadcastChannel(network, rng=rng.derive("channel"))
+    slot = config.coded_packet_bytes() / network.capacity
+    return EmulationEngine(
+        network,
+        runtimes,
+        channel,
+        slot,
+        scheduler_rng=rng.derive("mac"),
+        capture_rng=rng.derive("capture"),
+        tracer=tracer,
+    )
+
+
+class TestEngineHotSwapLayer:
+    def test_noop_rebuild_is_bit_identical(self, net_pair):
+        network, source, destination = net_pair
+        plan = plan_omnc(network, source, destination)
+        config = SessionConfig(max_seconds=20.0)
+        straight = SessionTracer()
+        engine_a = _make_engine(network, plan, config, 9, tracer=straight)
+        engine_a.run(400)
+        rebuilt = SessionTracer()
+        engine_b = _make_engine(network, plan, config, 9, tracer=rebuilt)
+        engine_b.run(150)
+        engine_b.rebuild_runtime_structures()
+        engine_b.run(100)
+        engine_b.set_network(engine_b.network)  # same topology: no-op too
+        engine_b.run(150)
+        assert list(straight.events()) == list(rebuilt.events())
+        assert engine_a.stats.transmissions == engine_b.stats.transmissions
+
+    def test_advance_idle_semantics(self, net_pair):
+        network, source, destination = net_pair
+        plan = plan_omnc(network, source, destination)
+        engine = _make_engine(network, plan, SessionConfig(), 9)
+        engine.run(50)
+        slots = engine.stats.slots
+        elapsed = engine.now
+        transmitted = dict(engine.stats.transmissions)
+        engine.advance_idle(0)
+        assert engine.stats.slots == slots
+        assert engine.now == elapsed
+        engine.advance_idle(10)
+        assert engine.stats.slots == slots + 10
+        assert engine.now == pytest.approx(elapsed + 10 * engine.slot_duration)
+        assert dict(engine.stats.transmissions) == transmitted
+        with pytest.raises(ValueError, match=">= 0"):
+            engine.advance_idle(-1)
+
+    def test_set_network_rejects_node_count_change(self, net_pair):
+        network, source, destination = net_pair
+        plan = plan_omnc(network, source, destination)
+        engine = _make_engine(network, plan, SessionConfig(), 9)
+        smaller = random_network(10, rng=RngFactory(2).derive("t"))
+        with pytest.raises(ValueError, match="node count"):
+            engine.set_network(smaller)
+
+
+class TestStaticEquivalence:
+    """Calm scenario + oblivious policy == the static pipeline, bit for bit."""
+
+    def test_coded_session_matches_static(self, net_pair):
+        network, source, destination = net_pair
+        config = SessionConfig(max_seconds=40.0, target_generations=2)
+        plan = plan_omnc(network, source, destination)
+        static_trace = SessionTracer()
+        static = run_coded_session(
+            network,
+            plan,
+            config=config,
+            rng=RngFactory(5),
+            protocol_label="omnc",
+            tracer=static_trace,
+        )
+        adaptive_trace = SessionTracer()
+        adaptive = run_adaptive_session(
+            network,
+            make_planner("omnc", source, destination),
+            make_policy("oblivious"),
+            builtin_scenario("calm", duration=40.0, epoch_seconds=10.0),
+            config=config,
+            rng=RngFactory(5),
+            tracer=adaptive_trace,
+        )
+        assert list(adaptive_trace.events()) == list(static_trace.events())
+        assert adaptive.session.transmissions == static.transmissions
+        assert adaptive.session.ack_times == static.ack_times
+        assert adaptive.session.throughput_bps == static.throughput_bps
+        assert adaptive.replans == 0
+        assert adaptive.replan_seconds == 0.0
+
+    def test_unicast_session_matches_static(self, net_pair):
+        network, source, destination = net_pair
+        config = SessionConfig(max_seconds=30.0)
+        plan = plan_etx_route(network, source, destination)
+        static_trace = SessionTracer()
+        static = run_unicast_session(
+            network, plan, config=config, rng=RngFactory(5), tracer=static_trace
+        )
+        adaptive_trace = SessionTracer()
+        adaptive = run_adaptive_session(
+            network,
+            make_planner("etx", source, destination),
+            make_policy("oblivious"),
+            builtin_scenario("calm", duration=30.0, epoch_seconds=10.0),
+            config=config,
+            rng=RngFactory(5),
+            tracer=adaptive_trace,
+        )
+        assert list(adaptive_trace.events()) == list(static_trace.events())
+        assert adaptive.session.packets_delivered == static.packets_delivered
+        assert adaptive.session.throughput_bps == static.throughput_bps
+
+
+class TestAdaptiveRuns:
+    def _drift_run(self, net_pair, *, seed=7, tracer=None):
+        network, source, destination = net_pair
+        return run_adaptive_session(
+            network,
+            make_planner("omnc", source, destination),
+            make_policy("drift:0.02"),
+            builtin_scenario("drift", duration=45.0, epoch_seconds=9.0),
+            config=SessionConfig(max_seconds=45.0),
+            rng=RngFactory(seed),
+            tracer=tracer,
+        )
+
+    def test_fixed_seed_and_scenario_reproduce_exactly(self, net_pair):
+        first_trace = SessionTracer()
+        second_trace = SessionTracer()
+        first = self._drift_run(net_pair, tracer=first_trace)
+        second = self._drift_run(net_pair, tracer=second_trace)
+        assert list(first_trace.events()) == list(second_trace.events())
+        assert first == second
+
+    def test_drift_triggers_charged_replans(self, net_pair):
+        tracer = SessionTracer()
+        result = self._drift_run(net_pair, tracer=tracer)
+        assert result.replans >= 1
+        assert result.replan_seconds > 0.0
+        assert len(result.replan_times) == result.replans
+        replan_events = list(tracer.events(kind="replan"))
+        assert len(replan_events) == result.replans
+        assert all(event.node == -1 for event in replan_events)
+        assert sum(1 for r in result.epochs if r.replanned) == result.replans
+        # Cold start plus one rate-control run per successful re-plan.
+        assert len(result.planner_iterations) == result.replans + 1
+
+    def test_warm_start_reconverges_faster(self, net_pair):
+        result = self._drift_run(net_pair)
+        cold, *warm = result.planner_iterations
+        assert warm, "scenario produced no re-plan to warm-start"
+        assert min(warm) < cold
+
+    def test_unplannable_replan_keeps_stale_plan(self, net_pair):
+        network, source, destination = net_pair
+        spec = ScenarioSpec(
+            name="kill-destination",
+            duration=30.0,
+            epoch_seconds=5.0,
+            events=(ScenarioEvent(at=10.0, kind="fail", node=destination),),
+        )
+        result = run_adaptive_session(
+            network,
+            make_planner("more", source, destination),
+            make_policy("drift:0.001"),
+            spec,
+            config=SessionConfig(max_seconds=30.0),
+            rng=RngFactory(3),
+        )
+        assert result.failed_replans >= 1
+        assert result.replans == 0
+        assert result.session.duration == pytest.approx(30.0, rel=0.01)

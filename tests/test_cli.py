@@ -17,10 +17,13 @@ class TestParser:
             ["fig2"],
             ["fig3"],
             ["fig4"],
+            ["fig5"],
+            ["fig5", "--smoke"],
             ["coding-speed"],
             ["convergence"],
             ["topology", "out.json"],
             ["session", "omnc", "0", "1"],
+            ["session", "omnc", "0", "1", "--scenario", "drift"],
         ):
             args = parser.parse_args(command)
             assert callable(args.func)
@@ -33,6 +36,25 @@ class TestParser:
     def test_session_protocol_choices(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args(["session", "teleport", "0", "1"])
+
+    def test_session_scenario_defaults(self):
+        args = build_parser().parse_args(["session", "omnc", "0", "1"])
+        assert args.scenario is None
+        assert args.policy == "drift"
+        assert args.epoch_seconds == 10.0
+
+    def test_session_scenario_options(self):
+        args = build_parser().parse_args(
+            [
+                "session", "more", "0", "1",
+                "--scenario", "calm",
+                "--policy", "periodic:3",
+                "--epoch-seconds", "5",
+            ]
+        )
+        assert args.scenario == "calm"
+        assert args.policy == "periodic:3"
+        assert args.epoch_seconds == 5.0
 
 
 class TestCommands:
@@ -107,3 +129,41 @@ class TestCommands:
         ])
         assert code == 0
         assert "packets" in capsys.readouterr().out
+
+    def test_scenario_session(self, capsys):
+        # Live control plane through the CLI: ETX under the builtin
+        # drift scenario with a drift-triggered policy.
+        from repro.topology.random_network import random_network
+        from repro.topology.phy import lossy_phy
+        from repro.util.rng import RngFactory
+        from repro.protocols.etx_routing import plan_etx_route
+        from repro.routing.node_selection import NodeSelectionError
+
+        rng = RngFactory(2008)
+        network = random_network(
+            60, phy=lossy_phy(rng=rng.derive("phy")), rng=rng.derive("topology")
+        )
+        pair = None
+        for s in range(network.node_count):
+            for t in range(network.node_count):
+                if s == t:
+                    continue
+                try:
+                    plan_etx_route(network, s, t)
+                    pair = (s, t)
+                    break
+                except NodeSelectionError:
+                    continue
+            if pair:
+                break
+        assert pair is not None
+        code = main([
+            "session", "etx", str(pair[0]), str(pair[1]),
+            "--nodes", "60", "--seconds", "30", "--seed", "2008",
+            "--scenario", "drift", "--policy", "drift:0.001",
+            "--epoch-seconds", "5",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "scenario:" in out
+        assert "replans:" in out

@@ -14,6 +14,7 @@ from repro.experiments.fig1_convergence import run_fig1
 from repro.experiments.fig2_throughput import run_fig2
 from repro.experiments.fig3_queue import run_fig3
 from repro.experiments.fig4_utility import run_fig4
+from repro.experiments.fig5_adaptation import Fig5Config, run_fig5
 from repro.coding.gf256 import GF256
 from repro.coding.gf256_baseline import GF256Baseline
 
@@ -132,6 +133,41 @@ class TestFigures:
         stats = run_convergence_stats(SMOKE)
         assert stats.iterations.count > 0
         assert stats.lp_ratio.mean == pytest.approx(1.0, abs=0.35)
+
+
+class TestFig5:
+    @pytest.fixture(scope="class")
+    def fig5(self):
+        return run_fig5(Fig5Config.smoke())
+
+    def test_all_policies_ran_full_duration(self, fig5):
+        assert set(fig5.runs) == {"oblivious", "periodic", "drift"}
+        for run in fig5.runs.values():
+            # Control-plane stalls consume session time, so a re-plan in
+            # the last epoch may push the end past the nominal duration
+            # by at most that stall.
+            assert run.session.duration >= fig5.config.duration * 0.99
+            assert run.session.duration <= (
+                fig5.config.duration + run.replan_seconds + 1.0
+            )
+
+    def test_oblivious_never_replans(self, fig5):
+        assert fig5.runs["oblivious"].replans == 0
+        assert fig5.runs["oblivious"].replan_seconds == 0.0
+
+    def test_reactive_policies_pay_for_replans(self, fig5):
+        for key in ("periodic", "drift"):
+            run = fig5.runs[key]
+            assert run.replans >= 1
+            assert run.replan_seconds > 0.0
+            # One cold start plus one warm re-plan per successful replan.
+            assert len(run.planner_iterations) == run.replans + 1
+
+    def test_scenario_fails_a_real_relay(self, fig5):
+        assert fig5.failed_node not in (fig5.source, fig5.destination)
+        kinds = [event.kind for event in fig5.scenario.events]
+        assert kinds == ["drift", "fail"]
+        assert fig5.scenario.events[1].node == fig5.failed_node
 
 
 class TestCodingSpeed:

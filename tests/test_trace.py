@@ -18,7 +18,9 @@ class TestSessionTracer:
         tracer.record(0, 0.0, "delivery", 1, peer=2)
         tracer.record(1, 0.05, "ack", -1, detail=1)
         assert len(tracer) == 4
-        assert tracer.summary() == {"grant": 1, "tx": 1, "delivery": 1, "ack": 1}
+        assert tracer.summary() == {
+            "grant": 1, "tx": 1, "delivery": 1, "ack": 1, "replan": 0,
+        }
         assert [e.peer for e in tracer.events(kind="delivery")] == [2]
         assert [e.detail for e in tracer.events(kind="ack")] == [1]
 
