@@ -1,0 +1,37 @@
+"""``repro.analysis`` — the determinism & invariant static-analysis pass.
+
+A custom AST linter (``repro lint``) enforcing the repo's reproducibility
+discipline at rest, before code runs:
+
+========  ==============================================================
+RPR001    no-unseeded-rng — generators must flow through util/rng
+RPR002    no-wallclock — host-clock reads banned outside obs//benchmarks/
+RPR003    no-set-iteration — set order is hash-randomized across runs
+RPR004    no-float-equality — exact ==/!= on float literals
+RPR005    public-api-annotations — exported functions fully annotated
+========  ==============================================================
+
+See :mod:`repro.analysis.rules` for the rationale tied to each rule and
+DESIGN.md §10 for the catalog.  Suppress per line with
+``# repro: ignore[RPR00x]`` (or ``# repro: rng-root`` for RPR001);
+grandfathered findings live in ``repro-lint-baseline.json``, which only
+ever shrinks.
+"""
+
+from repro.analysis.baseline import load_baseline, partition, save_baseline
+from repro.analysis.findings import RULE_CODES, RULE_SUMMARIES, Finding
+from repro.analysis.rules import LintConfig, lint_source
+from repro.analysis.runner import lint_paths, main
+
+__all__ = [
+    "Finding",
+    "LintConfig",
+    "RULE_CODES",
+    "RULE_SUMMARIES",
+    "lint_paths",
+    "lint_source",
+    "load_baseline",
+    "main",
+    "partition",
+    "save_baseline",
+]

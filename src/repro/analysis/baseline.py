@@ -1,0 +1,92 @@
+"""Baseline (grandfathered-findings) support for ``repro lint``.
+
+The baseline is a checked-in JSON multiset of findings that predate the
+linter.  Policy:
+
+* a current finding that matches a baseline entry is **grandfathered**
+  (reported only with ``--show-baselined``, never fails the run);
+* a current finding with no baseline entry is **new** and fails;
+* a baseline entry with no current finding is **stale** — the code got
+  fixed.  ``--update-baseline`` prunes stale entries but *never adds*
+  new ones, so the baseline shrinks monotonically toward empty.
+
+Matching is by ``(rule, path, stripped source line)`` — stable under
+unrelated edits that only shift line numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+_VERSION = 1
+
+_Key = tuple[str, str, str]
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be parsed."""
+
+
+def load_baseline(path: Path) -> Counter[_Key]:
+    """Read a baseline file into a finding-fingerprint multiset."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("version") != _VERSION:
+        raise BaselineError(
+            f"baseline {path} has unsupported format (want version {_VERSION})"
+        )
+    entries = payload.get("findings", [])
+    if not isinstance(entries, list):
+        raise BaselineError(f"baseline {path}: 'findings' must be a list")
+    counts: Counter[_Key] = Counter()
+    for entry in entries:
+        try:
+            key = (str(entry["rule"]), str(entry["path"]), str(entry["snippet"]))
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(f"baseline {path}: malformed entry {entry!r}") from exc
+        counts[key] += 1
+    return counts
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write ``findings`` as the new baseline (sorted, stable diffs)."""
+    entries = sorted(
+        (
+            {"rule": f.rule, "path": f.path, "snippet": f.snippet}
+            for f in findings
+        ),
+        key=lambda e: (e["path"], e["rule"], e["snippet"]),
+    )
+    payload = {"version": _VERSION, "findings": entries}
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+
+
+def partition(
+    findings: list[Finding], baseline: Counter[_Key]
+) -> tuple[list[Finding], list[Finding], int]:
+    """Split findings into (new, grandfathered); also count stale entries.
+
+    Each baseline entry absorbs at most as many findings as its
+    multiplicity; the remainder are new.  Stale = baseline entries left
+    unmatched after the pass.
+    """
+    budget = Counter(baseline)
+    new: list[Finding] = []
+    matched: list[Finding] = []
+    for finding in findings:
+        key = finding.fingerprint()
+        if budget[key] > 0:
+            budget[key] -= 1
+            matched.append(finding)
+        else:
+            new.append(finding)
+    stale = sum(budget.values())
+    return new, matched, stale

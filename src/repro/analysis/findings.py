@@ -1,0 +1,53 @@
+"""Finding model for the ``repro lint`` static-analysis pass.
+
+A :class:`Finding` is one rule violation at one source location.  Its
+*fingerprint* deliberately excludes the line number: baselines must
+survive unrelated edits above a grandfathered finding, so identity is
+``(rule, path, stripped source line)``.  Two identical lines violating
+the same rule in one file produce equal fingerprints; the baseline
+therefore matches findings as a multiset, not a set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Ranked rule catalog; the runner reports rules in this order.
+RULE_CODES: tuple[str, ...] = ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005")
+
+RULE_SUMMARIES: dict[str, str] = {
+    "RPR001": "no-unseeded-rng: random generators must come from util/rng streams",
+    "RPR002": "no-wallclock: wall-clock reads are banned outside obs/ and benchmarks/",
+    "RPR003": "no-set-iteration: iterating a set is nondeterministic across processes",
+    "RPR004": "no-float-equality: exact ==/!= on float literals hides tolerance bugs",
+    "RPR005": "public-api-annotations: exported functions must be fully annotated",
+}
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one location."""
+
+    rule: str
+    path: str
+    line: int
+    column: int
+    message: str
+    snippet: str
+
+    def fingerprint(self) -> tuple[str, str, str]:
+        """Line-number-independent identity used for baseline matching."""
+        return (self.rule, self.path, self.snippet)
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.column, self.rule)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "column": self.column,
+            "message": self.message,
+            "snippet": self.snippet,
+        }

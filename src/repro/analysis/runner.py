@@ -1,0 +1,254 @@
+"""File walking, output formats and the ``repro lint`` entry point.
+
+Exit codes: ``0`` clean (or everything grandfathered), ``1`` new
+findings / stale baseline / unparseable source, ``2`` usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from collections import Counter
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.analysis.baseline import (
+    BaselineError,
+    load_baseline,
+    partition,
+    save_baseline,
+)
+from repro.analysis.findings import RULE_CODES, RULE_SUMMARIES, Finding
+from repro.analysis.rules import LintConfig, lint_source
+
+DEFAULT_BASELINE = "repro-lint-baseline.json"
+
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".mypy_cache", ".ruff_cache"})
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Yield every ``.py`` file under ``paths`` in sorted order."""
+    for path in paths:
+        if path.is_dir():
+            for child in sorted(path.rglob("*.py")):
+                if not _SKIP_DIRS.intersection(child.parts):
+                    yield child
+        elif path.suffix == ".py":
+            yield path
+
+
+def normalize(path: Path, root: Path) -> str:
+    """Repo-relative POSIX path when possible (stable fingerprints)."""
+    try:
+        return path.resolve().relative_to(root.resolve()).as_posix()
+    except ValueError:
+        return path.as_posix()
+
+
+def lint_paths(
+    paths: Iterable[Path],
+    root: Path,
+    config: LintConfig,
+) -> tuple[list[Finding], list[str], int]:
+    """Lint every file under ``paths``.
+
+    Returns ``(findings, parse_errors, files_checked)``.
+    """
+    findings: list[Finding] = []
+    errors: list[str] = []
+    checked = 0
+    for file_path in iter_python_files(paths):
+        checked += 1
+        rel = normalize(file_path, root)
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            findings.extend(lint_source(source, rel, config))
+        except (OSError, SyntaxError, ValueError) as exc:
+            errors.append(f"{rel}: {exc}")
+    return sorted(findings, key=Finding.sort_key), errors, checked
+
+
+# -- output formats --------------------------------------------------------
+
+
+def format_text(
+    new: list[Finding], matched: list[Finding], *, show_baselined: bool
+) -> Iterator[str]:
+    shown = new + (matched if show_baselined else [])
+    baselined_ids = {id(f) for f in matched}
+    for finding in sorted(shown, key=Finding.sort_key):
+        tag = " (baselined)" if id(finding) in baselined_ids else ""
+        yield (
+            f"{finding.path}:{finding.line}:{finding.column}: "
+            f"{finding.rule}{tag} {finding.message}"
+        )
+
+
+def format_github(new: list[Finding]) -> Iterator[str]:
+    for finding in new:
+        yield (
+            f"::error file={finding.path},line={finding.line},"
+            f"col={finding.column},title=repro-lint {finding.rule}::"
+            f"{finding.message}"
+        )
+
+
+def format_json(
+    new: list[Finding],
+    matched: list[Finding],
+    stale: int,
+    checked: int,
+    errors: list[str],
+) -> str:
+    return json.dumps(
+        {
+            "findings": [f.to_dict() for f in new],
+            "baselined": len(matched),
+            "stale_baseline_entries": stale,
+            "files_checked": checked,
+            "parse_errors": errors,
+            "rules": RULE_SUMMARIES,
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+# -- CLI -------------------------------------------------------------------
+
+
+def configure_parser(parser: argparse.ArgumentParser) -> None:
+    """Attach ``repro lint``'s arguments to ``parser``."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files/directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json", "github"),
+        default="text",
+        help="output format (github = workflow error annotations)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=None,
+        metavar="PATH",
+        help="baseline file of grandfathered findings "
+        f"(default: {DEFAULT_BASELINE} when present)",
+    )
+    parser.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="prune fixed entries from the baseline (never adds new ones)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        metavar="RULES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--show-baselined",
+        action="store_true",
+        help="also print grandfathered findings (text format)",
+    )
+
+
+def run(args: argparse.Namespace, stream: TextIO | None = None) -> int:
+    """Execute a configured lint run; returns the process exit code."""
+    out = stream if stream is not None else sys.stdout
+    if args.select is None:
+        select = RULE_CODES
+    else:
+        select = tuple(
+            code.strip() for code in args.select.split(",") if code.strip()
+        )
+        unknown = [code for code in select if code not in RULE_CODES]
+        if unknown:
+            print(f"repro lint: unknown rule(s): {', '.join(unknown)}", file=out)
+            return 2
+    config = LintConfig(select=select)
+    root = Path.cwd()
+    findings, errors, checked = lint_paths(
+        [Path(p) for p in args.paths], root, config
+    )
+
+    baseline_path = Path(args.baseline) if args.baseline else Path(DEFAULT_BASELINE)
+    baseline: Counter[tuple[str, str, str]] = Counter()
+    if baseline_path.exists():
+        try:
+            baseline = load_baseline(baseline_path)
+        except BaselineError as exc:
+            print(f"repro lint: {exc}", file=out)
+            return 2
+    elif args.baseline is not None:
+        print(f"repro lint: baseline {baseline_path} not found", file=out)
+        return 2
+
+    new, matched, stale = partition(findings, baseline)
+
+    if args.update_baseline:
+        if new:
+            for line in format_text(new, matched, show_baselined=False):
+                print(line, file=out)
+            print(
+                f"repro lint: refusing to update baseline with {len(new)} new "
+                "finding(s); fix or pragma them first (the baseline only "
+                "shrinks)",
+                file=out,
+            )
+            return 1
+        save_baseline(baseline_path, matched)
+        print(
+            f"repro lint: baseline rewritten with {len(matched)} entr"
+            f"{'y' if len(matched) == 1 else 'ies'} "
+            f"({stale} stale pruned) -> {baseline_path}",
+            file=out,
+        )
+        return 0
+
+    if args.format == "json":
+        print(format_json(new, matched, stale, checked, errors), file=out)
+    elif args.format == "github":
+        for line in format_github(new):
+            print(line, file=out)
+        for error in errors:
+            print(f"::error::repro lint parse failure: {error}", file=out)
+    else:
+        for line in format_text(new, matched, show_baselined=args.show_baselined):
+            print(line, file=out)
+        for error in errors:
+            print(f"repro lint: parse failure: {error}", file=out)
+
+    failed = bool(new or errors or stale)
+    if args.format != "json":
+        summary = (
+            f"repro lint: {checked} file(s), {len(new)} new finding(s), "
+            f"{len(matched)} baselined, {stale} stale baseline entr"
+            f"{'y' if stale == 1 else 'ies'}"
+        )
+        print(summary, file=out)
+        if stale:
+            print(
+                "repro lint: stale baseline entries mean code got fixed — "
+                "run with --update-baseline to shrink the baseline",
+                file=out,
+            )
+    return 1 if failed else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.analysis.runner``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & invariant static analysis for the repro tree",
+    )
+    configure_parser(parser)
+    return run(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

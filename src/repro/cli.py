@@ -6,7 +6,8 @@ for users who want the paper's numbers without writing Python:
 * ``fig1`` / ``fig2`` / ``fig3`` / ``fig4`` — regenerate a figure;
 * ``coding-speed`` / ``convergence`` — the two numeric claims;
 * ``session`` — plan and emulate one session of a chosen protocol;
-* ``topology`` — generate and save a topology for later reuse.
+* ``topology`` — generate and save a topology for later reuse;
+* ``lint`` — the determinism & invariant static-analysis pass.
 """
 
 from __future__ import annotations
@@ -16,6 +17,7 @@ import sys
 from typing import List, Optional
 
 from repro import obs
+from repro.analysis import runner as analysis_runner
 from repro.emulator.session import (
     SessionConfig,
     run_coded_session,
@@ -301,6 +303,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="control-plane observation interval for --scenario (default 10)",
     )
     session.set_defaults(func=_cmd_session)
+
+    lint = sub.add_parser(
+        "lint",
+        help="determinism & invariant static analysis (RPR001-RPR005)",
+    )
+    analysis_runner.configure_parser(lint)
+    lint.set_defaults(func=analysis_runner.run)
     return parser
 
 

@@ -32,12 +32,13 @@ buffers packets and decodes with one matrix inversion at the end.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional, Sequence, Type
+from typing import Iterable, List, Sequence
 
 import numpy as np
 
 from repro import obs
 from repro.coding import matrix as gfmatrix
+from repro.coding.matrix import FieldType
 from repro.coding.gf256 import GF256
 from repro.coding.generation import Generation
 from repro.coding.packet import CodedPacket
@@ -56,10 +57,10 @@ class ProgressiveDecoder:
     def __init__(
         self,
         blocks: int,
-        block_size: Optional[int] = None,
+        block_size: int | None = None,
         *,
-        field: Type = GF256,
-        registry: Optional[obs.MetricsRegistry] = None,
+        field: FieldType = GF256,
+        registry: obs.MetricsRegistry | None = None,
     ) -> None:
         if blocks <= 0:
             raise ValueError(f"blocks must be > 0, got {blocks}")
@@ -295,7 +296,7 @@ class BlockDecoder:
     """
 
     def __init__(
-        self, blocks: int, block_size: int, *, field: Type = GF256
+        self, blocks: int, block_size: int, *, field: FieldType = GF256
     ) -> None:
         if blocks <= 0 or block_size <= 0:
             raise ValueError("blocks and block_size must be > 0")
@@ -317,7 +318,7 @@ class BlockDecoder:
         self._vectors.append(packet.coefficients.copy())
         self._payloads.append(packet.payload.copy())
 
-    def try_decode(self) -> Optional[np.ndarray]:
+    def try_decode(self) -> np.ndarray | None:
         """Attempt a full decode; None if the buffer is not full rank.
 
         Cost is one rank check plus (on success) one n x n inversion and

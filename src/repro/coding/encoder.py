@@ -18,11 +18,12 @@ the accelerated or the baseline codec.
 
 from __future__ import annotations
 
-from typing import List, Optional, Type
+from typing import List
 
 import numpy as np
 
 from repro.coding.gf256 import GF256
+from repro.coding.matrix import FieldType
 from repro.coding.generation import Generation
 from repro.coding.packet import CodedPacket
 
@@ -36,7 +37,7 @@ class SourceEncoder:
         generation: Generation,
         rng: np.random.Generator,
         *,
-        field: Type = GF256,
+        field: FieldType = GF256,
         payload: bool = True,
     ) -> None:
         self._session_id = session_id
@@ -134,7 +135,7 @@ class RelayReEncoder:
         blocks: int,
         rng: np.random.Generator,
         *,
-        field: Type = GF256,
+        field: FieldType = GF256,
         generation_id: int = 0,
     ) -> None:
         if blocks <= 0:
@@ -148,12 +149,12 @@ class RelayReEncoder:
         # packet.  The payload buffer is allocated lazily on the first
         # payload-bearing packet (its width is not known up front).
         self._vector_buf = np.zeros((blocks, blocks), dtype=np.uint8)
-        self._payload_buf: Optional[np.ndarray] = None
+        self._payload_buf: np.ndarray | None = None
         self._count = 0
         # Incremental row-echelon copy of the vectors, used only for the
         # innovation check; pivots[c] = row index whose pivot is column c.
         self._echelon_buf = np.zeros((blocks, blocks), dtype=np.uint8)
-        self._pivots: dict = {}
+        self._pivots: dict[int, int] = {}
 
     @property
     def generation_id(self) -> int:

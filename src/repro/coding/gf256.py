@@ -18,7 +18,7 @@ All public operations accept and return ``numpy.ndarray`` with
 
 from __future__ import annotations
 
-from typing import Tuple, Union
+from typing import Callable, Tuple
 
 import numpy as np
 
@@ -27,16 +27,16 @@ GENERATOR = 0x03
 FIELD_SIZE = 256
 _ORDER = FIELD_SIZE - 1  # multiplicative group order
 
-ArrayLike = Union[int, np.ndarray]
+ArrayLike = int | np.ndarray
 
 # Observability hook: when repro.obs enables global collection it points
 # this at a counter's `inc` so the row kernels meter the bytes they
 # process.  A module-level `is None` check is the entire disabled-path
 # cost, keeping the kernels untouched for the 3-5x speedup claim.
-_BYTES_HOOK = None
+_BYTES_HOOK: Callable[[int], object] | None = None
 
 
-def set_bytes_hook(hook) -> None:
+def set_bytes_hook(hook: Callable[[int], object] | None) -> None:
     """Install (or clear, with None) the byte-metering callback.
 
     The callback receives the number of payload bytes processed by one

@@ -13,13 +13,13 @@ to reproduce the paper's 3-5x speedup claim.
 
 from __future__ import annotations
 
-from typing import List, Union
+from typing import List
 
 import numpy as np
 
 from repro.coding.gf256 import exp_table, log_table
 
-ArrayLike = Union[int, np.ndarray]
+ArrayLike = int | np.ndarray
 
 _EXP: List[int] = [int(v) for v in exp_table()]
 _LOG: List[int] = [int(v) for v in log_table()]

@@ -9,11 +9,16 @@ maintains its own incremental reduced row-echelon state.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple, Type
+from typing import List, Tuple
 
 import numpy as np
 
 from repro.coding.gf256 import GF256
+from repro.coding.gf256_baseline import GF256Baseline
+
+# Any GF(2^8) arithmetic backend: the table-driven vectorized class or
+# the pure-Python baseline.  Both expose the same classmethod surface.
+FieldType = type[GF256] | type[GF256Baseline]
 
 
 def _as_matrix(matrix: np.ndarray) -> np.ndarray:
@@ -23,7 +28,7 @@ def _as_matrix(matrix: np.ndarray) -> np.ndarray:
     return matrix
 
 
-def rref(matrix: np.ndarray, field: Type = GF256) -> Tuple[np.ndarray, list]:
+def rref(matrix: np.ndarray, field: FieldType = GF256) -> Tuple[np.ndarray, List[int]]:
     """Reduced row-echelon form by Gauss-Jordan elimination.
 
     Returns ``(reduced, pivot_columns)``.  The input is not modified.
@@ -60,19 +65,19 @@ def rref(matrix: np.ndarray, field: Type = GF256) -> Tuple[np.ndarray, list]:
     return work, pivot_cols
 
 
-def rank(matrix: np.ndarray, field: Type = GF256) -> int:
+def rank(matrix: np.ndarray, field: FieldType = GF256) -> int:
     """Rank of ``matrix`` over GF(2^8)."""
     _, pivots = rref(matrix, field)
     return len(pivots)
 
 
-def is_full_rank(matrix: np.ndarray, field: Type = GF256) -> bool:
+def is_full_rank(matrix: np.ndarray, field: FieldType = GF256) -> bool:
     """True if ``matrix`` has rank equal to min(rows, cols)."""
     matrix = _as_matrix(matrix)
     return rank(matrix, field) == min(matrix.shape)
 
 
-def invert(matrix: np.ndarray, field: Type = GF256) -> np.ndarray:
+def invert(matrix: np.ndarray, field: FieldType = GF256) -> np.ndarray:
     """Inverse of a square matrix; raises ``ValueError`` if singular."""
     matrix = _as_matrix(matrix)
     n, m = matrix.shape
@@ -85,7 +90,9 @@ def invert(matrix: np.ndarray, field: Type = GF256) -> np.ndarray:
     return reduced[:, n:].copy()
 
 
-def solve(coefficients: np.ndarray, payloads: np.ndarray, field: Type = GF256) -> np.ndarray:
+def solve(
+    coefficients: np.ndarray, payloads: np.ndarray, field: FieldType = GF256
+) -> np.ndarray:
     """Solve ``R . B = X`` for B — the paper's one-shot decode.
 
     ``coefficients`` is the (n, n) matrix R of coding vectors and
@@ -116,7 +123,7 @@ def random_matrix(
     rng: np.random.Generator,
     *,
     full_rank: bool = False,
-    field: Type = GF256,
+    field: FieldType = GF256,
     max_attempts: int = 64,
 ) -> np.ndarray:
     """Uniformly random matrix; optionally resampled until full rank.
@@ -139,7 +146,7 @@ def random_matrix(
 def is_rref(matrix: np.ndarray) -> bool:
     """Check whether ``matrix`` is in reduced row-echelon form."""
     matrix = _as_matrix(matrix)
-    last_pivot_col: Optional[int] = None
+    last_pivot_col: int | None = None
     seen_zero_row = False
     for row in matrix:
         nonzero = np.nonzero(row)[0]

@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List
 
 import numpy as np
 
@@ -47,8 +47,8 @@ class CodedPacket:
     session_id: int
     generation_id: int
     coefficients: np.ndarray
-    payload: Optional[np.ndarray] = None
-    origin: Optional[int] = field(default=None, compare=False)
+    payload: np.ndarray | None = None
+    origin: int | None = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         if self.session_id < 0 or self.session_id > 0xFFFFFFFF:
@@ -79,8 +79,8 @@ class CodedPacket:
         session_id: int,
         generation_id: int,
         coefficients: np.ndarray,
-        payloads: Optional[np.ndarray] = None,
-        origin: Optional[int] = None,
+        payloads: np.ndarray | None = None,
+        origin: int | None = None,
     ) -> "List[CodedPacket]":
         """Build one packet per row of ``coefficients`` without copying.
 
@@ -100,7 +100,7 @@ class CodedPacket:
         if coefficients.shape[1] > 0xFFFF:
             raise ValueError(f"coding vector too long: {coefficients.shape[1]}")
         coefficients.setflags(write=False)
-        payload_rows: List[Optional[np.ndarray]]
+        payload_rows: List[np.ndarray | None]
         if payloads is None:
             payload_rows = [None] * coefficients.shape[0]
         else:

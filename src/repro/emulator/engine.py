@@ -19,7 +19,7 @@ them.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Set, Tuple
 
 import numpy as np
 
@@ -29,6 +29,7 @@ from repro.emulator.node import NodeRuntime, UnicastRuntime
 from repro.emulator.scheduler import ConflictGraph, IdealMacScheduler
 from repro.emulator.trace import SessionTracer
 from repro.topology.graph import Link, WirelessNetwork
+from repro.util.rng import fallback_rng
 
 
 @dataclass
@@ -59,11 +60,11 @@ class EmulationEngine:
         channel: LossyBroadcastChannel,
         slot_duration: float,
         *,
-        scheduler_rng: Optional[np.random.Generator] = None,
-        capture_rng: Optional[np.random.Generator] = None,
+        scheduler_rng: np.random.Generator | None = None,
+        capture_rng: np.random.Generator | None = None,
         interference: str = "blanking",
-        tracer: Optional[SessionTracer] = None,
-        registry: Optional[obs.MetricsRegistry] = None,
+        tracer: SessionTracer | None = None,
+        registry: obs.MetricsRegistry | None = None,
     ) -> None:
         if slot_duration <= 0:
             raise ValueError(f"slot_duration must be > 0, got {slot_duration}")
@@ -80,10 +81,12 @@ class EmulationEngine:
         # can hand the *same* generator to the replacement scheduler and
         # the grant stream continues uninterrupted.
         self._scheduler_rng = (
-            scheduler_rng if scheduler_rng is not None else np.random.default_rng(0)
+            scheduler_rng if scheduler_rng is not None
+            else fallback_rng("mac-scheduler")
         )
         self._rng = (
-            capture_rng if capture_rng is not None else np.random.default_rng(1)
+            capture_rng if capture_rng is not None
+            else fallback_rng("engine-capture")
         )
         self._pending_unicast: Dict[int, bool] = {}
         self._tracer = tracer
@@ -162,7 +165,7 @@ class EmulationEngine:
             ]
 
     def rebuild_runtime_structures(
-        self, runtimes: Optional[Dict[int, NodeRuntime]] = None
+        self, runtimes: Dict[int, NodeRuntime] | None = None
     ) -> None:
         """Refresh the precomputed slot-loop structures mid-run.
 
@@ -269,7 +272,7 @@ class EmulationEngine:
         self,
         max_slots: int,
         *,
-        stop_when: Optional[Callable[[], bool]] = None,
+        stop_when: Callable[[], bool] | None = None,
     ) -> EngineStats:
         """Advance up to ``max_slots`` slots; ``stop_when`` checked each
         slot after delivery processing."""

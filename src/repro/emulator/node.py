@@ -23,7 +23,7 @@ examples demonstrate full-payload operation end-to-end.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Optional, Tuple
+from typing import Callable, Deque, Sequence, Tuple, TypeAlias
 
 import numpy as np
 
@@ -31,6 +31,12 @@ from repro.coding.decoder import ProgressiveDecoder
 from repro.coding.encoder import RelayReEncoder, SourceEncoder
 from repro.coding.generation import Generation
 from repro.coding.packet import CodedPacket
+
+#: Anything a runtime can put on the air.  Subclasses narrow ``packet``
+#: parameters to their own family's type; a session only ever wires
+#: matching families together, so the narrowing is safe (marked with
+#: ``type: ignore[override]`` at each override).
+Packet: TypeAlias = "CodedPacket | FlowPacket"
 
 DEFAULT_QUEUE_LIMIT = 500
 
@@ -71,14 +77,14 @@ class NodeRuntime:
         """
         return 0.0
 
-    def pop_transmission(self) -> Optional[CodedPacket]:
+    def pop_transmission(self) -> Packet | None:
         """Dequeue the packet to transmit this slot (None if drained)."""
         return None
 
-    def on_receive(self, packet: CodedPacket, sender: int) -> None:
+    def on_receive(self, packet: Packet, sender: int) -> None:
         """Handle a delivered packet."""
 
-    def on_receive_batch(self, packets, sender: int) -> None:
+    def on_receive_batch(self, packets: Sequence[Packet], sender: int) -> None:
         """Handle several packets delivered in one slot from ``sender``.
 
         Runtimes with a batch-capable data plane override this (the
@@ -171,7 +177,7 @@ class CodedSourceRuntime(NodeRuntime):
     def demand_rate(self, dt: float) -> float:
         return self._rate * dt / self._packet_bytes
 
-    def pop_transmission(self) -> Optional[CodedPacket]:
+    def pop_transmission(self) -> CodedPacket | None:
         if not self._queue:
             return None
         self.packets_sent += 1
@@ -254,10 +260,10 @@ class CodedRelayRuntime(NodeRuntime):
     def apply_plan(
         self,
         *,
-        mode: Optional[str] = None,
-        rate_bps: Optional[float] = None,
-        tx_credit: Optional[float] = None,
-        upstream: Optional[Tuple[int, ...]] = None,
+        mode: str | None = None,
+        rate_bps: float | None = None,
+        tx_credit: float | None = None,
+        upstream: Tuple[int, ...] | None = None,
     ) -> None:
         """Hot-swap rate/credit parameters; the coding buffer persists.
 
@@ -320,7 +326,7 @@ class CodedRelayRuntime(NodeRuntime):
             return self._rate * dt / self._packet_bytes
         return self._demand_ewma
 
-    def pop_transmission(self) -> Optional[CodedPacket]:
+    def pop_transmission(self) -> CodedPacket | None:
         if not self._queue:
             return None
         self.packets_sent += 1
@@ -377,7 +383,9 @@ class CodedDestinationRuntime(NodeRuntime):
         """Current decoder rank for the active generation."""
         return self._decoder.rank
 
-    def on_receive(self, packet: CodedPacket, sender: int) -> None:
+    def on_receive(  # type: ignore[override]
+        self, packet: CodedPacket, sender: int
+    ) -> None:
         if packet.session_id != self._session_id:
             return
         if packet.generation_id != self._generation_id:
@@ -393,7 +401,9 @@ class CodedDestinationRuntime(NodeRuntime):
                 # driver models its (fast, reliable) best-path delivery.
                 self._on_decoded(self._generation_id)
 
-    def on_receive_batch(self, packets, sender: int) -> None:
+    def on_receive_batch(  # type: ignore[override]
+        self, packets: Sequence[CodedPacket], sender: int
+    ) -> None:
         """Feed a whole slot's deliveries through one batch elimination."""
         accepted = [
             packet
@@ -502,7 +512,7 @@ class FlowSourceRuntime(NodeRuntime):
     def demand_rate(self, dt: float) -> float:
         return self._rate * dt / self._packet_bytes
 
-    def pop_transmission(self):
+    def pop_transmission(self) -> FlowPacket | None:
         if not self._queue:
             return None
         self.packets_sent += 1
@@ -577,10 +587,10 @@ class FlowRelayRuntime(NodeRuntime):
     def apply_plan(
         self,
         *,
-        mode: Optional[str] = None,
-        rate_bps: Optional[float] = None,
-        tx_credit: Optional[float] = None,
-        upstream: Optional[Tuple[int, ...]] = None,
+        mode: str | None = None,
+        rate_bps: float | None = None,
+        tx_credit: float | None = None,
+        upstream: Tuple[int, ...] | None = None,
     ) -> None:
         """Hot-swap rate/credit parameters; the information level persists."""
         if mode is not None:
@@ -631,13 +641,15 @@ class FlowRelayRuntime(NodeRuntime):
             return self._rate * dt / self._packet_bytes
         return self._demand_ewma
 
-    def pop_transmission(self):
+    def pop_transmission(self) -> FlowPacket | None:
         if not self._queue:
             return None
         self.packets_sent += 1
         return self._queue.popleft()
 
-    def on_receive(self, packet, sender: int) -> None:
+    def on_receive(  # type: ignore[override]
+        self, packet: FlowPacket, sender: int
+    ) -> None:
         self.packets_heard += 1
         if packet.generation_id > self._generation_id:
             self.advance_generation(packet.generation_id)
@@ -687,7 +699,9 @@ class FlowDestinationRuntime(NodeRuntime):
         """Information units gathered for the active generation."""
         return int(self.information)
 
-    def on_receive(self, packet, sender: int) -> None:
+    def on_receive(  # type: ignore[override]
+        self, packet: FlowPacket, sender: int
+    ) -> None:
         if packet.session_id != self._session_id:
             return
         if packet.generation_id != self._generation_id:
@@ -721,12 +735,12 @@ class UnicastRuntime(NodeRuntime):
     def __init__(
         self,
         node_id: int,
-        next_hop: Optional[int],
+        next_hop: int | None,
         *,
         rate_bps: float = 0.0,
         packet_bytes: int = 1,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
-        on_delivered: Optional[Callable[[int], None]] = None,
+        on_delivered: Callable[[int], None] | None = None,
         demand_hint_bps: float = 0.0,
     ) -> None:
         super().__init__(node_id)
@@ -752,7 +766,7 @@ class UnicastRuntime(NodeRuntime):
         self.packets_dropped = 0
 
     @property
-    def next_hop(self) -> Optional[int]:
+    def next_hop(self) -> int | None:
         """Downstream node, or None at the destination."""
         return self._next_hop
 
@@ -760,8 +774,8 @@ class UnicastRuntime(NodeRuntime):
         self,
         *,
         next_hop: object = _UNSET,
-        rate_bps: Optional[float] = None,
-        demand_hint_bps: Optional[float] = None,
+        rate_bps: float | None = None,
+        demand_hint_bps: float | None = None,
     ) -> None:
         """Hot-swap the route/rate; queued packets survive the re-route.
 
@@ -804,7 +818,7 @@ class UnicastRuntime(NodeRuntime):
     def demand_rate(self, dt: float) -> float:
         return self._demand_hint * dt / self._packet_bytes
 
-    def peek_sequence(self) -> Optional[int]:
+    def peek_sequence(self) -> int | None:
         """Head-of-line packet (stays queued until the hop succeeds)."""
         if not self._queue or self._next_hop is None:
             return None

@@ -14,7 +14,7 @@ offered load at half the channel capacity, throughput computed at each
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Tuple
 
 from repro import obs
 from repro.coding.generation import (
@@ -37,6 +37,7 @@ from repro.emulator.node import (
 from repro.protocols.base import (
     CodedBroadcastPlan,
     CreditBroadcastPlan,
+    SessionPlan,
     UnicastPathPlan,
 )
 from repro.emulator.trace import SessionTracer
@@ -174,8 +175,8 @@ class _AckTracker:
 
     def __init__(self) -> None:
         self.ack_times: List[float] = []
-        self.engine: Optional[EmulationEngine] = None
-        self.pending_advance: Optional[int] = None
+        self.engine: EmulationEngine | None = None
+        self.pending_advance: int | None = None
 
     def on_decoded(self, generation_id: int) -> None:
         assert self.engine is not None
@@ -191,13 +192,13 @@ class _AckTracker:
 
 def build_plan_runtimes(
     network: WirelessNetwork,
-    plan,
+    plan: SessionPlan,
     *,
     session_id: int = 1,
-    config: Optional[SessionConfig] = None,
-    rng: Optional[RngFactory] = None,
-    on_decoded: Optional[callable] = None,
-    on_delivered: Optional[callable] = None,
+    config: SessionConfig | None = None,
+    rng: RngFactory | None = None,
+    on_decoded: Callable[[int], None] | None = None,
+    on_delivered: Callable[[int], None] | None = None,
 ) -> Tuple[Dict[int, NodeRuntime], str]:
     """Construct the per-node runtimes any plan type needs, plus a label.
 
@@ -238,14 +239,14 @@ def build_plan_runtimes(
 
 def run_coded_session(
     network: WirelessNetwork,
-    plan,
+    plan: CodedBroadcastPlan | CreditBroadcastPlan,
     *,
     session_id: int = 1,
-    config: Optional[SessionConfig] = None,
-    rng: Optional[RngFactory] = None,
-    protocol_label: Optional[str] = None,
-    registry: Optional[obs.MetricsRegistry] = None,
-    tracer: Optional[SessionTracer] = None,
+    config: SessionConfig | None = None,
+    rng: RngFactory | None = None,
+    protocol_label: str | None = None,
+    registry: obs.MetricsRegistry | None = None,
+    tracer: SessionTracer | None = None,
 ) -> SessionResult:
     """Emulate one network-coded session (OMNC, MORE or oldMORE plan).
 
@@ -447,10 +448,10 @@ def _coded_result(
     label: str,
     source: int,
     destination: int,
-    plan,
+    plan: SessionPlan,
     config: SessionConfig,
     stats: EngineStats,
-    dest_runtime,
+    dest_runtime: CodedDestinationRuntime | FlowDestinationRuntime,
     tracker: _AckTracker,
     runtimes: Dict[int, NodeRuntime],
 ) -> SessionResult:
@@ -484,7 +485,7 @@ def _build_unicast_runtimes(
     network: WirelessNetwork,
     plan: UnicastPathPlan,
     config: SessionConfig,
-    on_delivered: Optional[callable],
+    on_delivered: Callable[[int], None] | None,
 ) -> Dict[int, NodeRuntime]:
     """ETX: store-and-forward runtimes along the planned path."""
     cbr = config.cbr_fraction * network.capacity
@@ -508,7 +509,7 @@ def _build_unicast_runtimes(
 def unicast_demand_hint(
     network: WirelessNetwork,
     node: int,
-    next_hop: Optional[int],
+    next_hop: int | None,
     cbr: float,
 ) -> float:
     """Airtime demand of a path node: offered load inflated by the hop's
@@ -523,10 +524,10 @@ def run_unicast_session(
     network: WirelessNetwork,
     plan: UnicastPathPlan,
     *,
-    config: Optional[SessionConfig] = None,
-    rng: Optional[RngFactory] = None,
-    registry: Optional[obs.MetricsRegistry] = None,
-    tracer: Optional[SessionTracer] = None,
+    config: SessionConfig | None = None,
+    rng: RngFactory | None = None,
+    registry: obs.MetricsRegistry | None = None,
+    tracer: SessionTracer | None = None,
 ) -> SessionResult:
     """Emulate one ETX best-path session with MAC retransmissions."""
     config = config or SessionConfig()

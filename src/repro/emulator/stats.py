@@ -52,7 +52,7 @@ def count_dag_paths(
         nodes.add(i)
         nodes.add(j)
     order = _topological_order(nodes, adjacency)
-    counts: Dict[int, int] = {node: 0 for node in nodes}
+    counts: Dict[int, int] = {node: 0 for node in sorted(nodes)}
     counts[destination] = 1
     for node in reversed(order):
         if node == destination:

@@ -22,7 +22,7 @@ import json
 from collections import Counter
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Iterator, Optional, Tuple, Union
+from typing import Dict, Iterator, Tuple
 
 EVENT_KINDS = ("grant", "tx", "delivery", "ack", "replan")
 
@@ -45,10 +45,10 @@ class TraceEvent:
     time: float
     kind: str
     node: int
-    peer: Optional[int] = None
-    detail: Optional[int] = None
+    peer: int | None = None
+    detail: int | None = None
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, int | float | str]:
         """JSON-compatible representation."""
         record = {
             "slot": self.slot,
@@ -75,7 +75,7 @@ class SessionTracer:
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
         self._capacity = capacity
-        self._events: list = []
+        self._events: list[TraceEvent] = []
         self._start = 0  # logical index of the first retained event
         self.dropped = 0
 
@@ -85,8 +85,8 @@ class SessionTracer:
         time: float,
         kind: str,
         node: int,
-        peer: Optional[int] = None,
-        detail: Optional[int] = None,
+        peer: int | None = None,
+        detail: int | None = None,
     ) -> None:
         """Append one event."""
         if kind not in EVENT_KINDS:
@@ -103,8 +103,8 @@ class SessionTracer:
     def events(
         self,
         *,
-        kind: Optional[str] = None,
-        node: Optional[int] = None,
+        kind: str | None = None,
+        node: int | None = None,
     ) -> Iterator[TraceEvent]:
         """Iterate retained events, optionally filtered."""
         for event in self._events:
@@ -121,7 +121,7 @@ class SessionTracer:
 
     def per_node_transmissions(self) -> Dict[int, int]:
         """Transmission counts per node from the retained window."""
-        counts: Counter = Counter()
+        counts: Counter[int] = Counter()
         for event in self.events(kind="tx"):
             counts[event.node] += 1
         return dict(counts)
@@ -133,7 +133,7 @@ class SessionTracer:
             return 0.0
         return summary["delivery"] / summary["tx"]
 
-    def to_jsonl(self, path: Union[str, Path]) -> int:
+    def to_jsonl(self, path: str | Path) -> int:
         """Write retained events as JSON lines; returns the line count."""
         path = Path(path)
         with path.open("w") as handle:
@@ -142,7 +142,7 @@ class SessionTracer:
         return len(self._events)
 
     @staticmethod
-    def read_jsonl(path: Union[str, Path]) -> Tuple[TraceEvent, ...]:
+    def read_jsonl(path: str | Path) -> Tuple[TraceEvent, ...]:
         """Load events previously written by :meth:`to_jsonl`."""
         events = []
         for line in Path(path).read_text().splitlines():

@@ -80,7 +80,7 @@ class EventTracer:
         """Maximum retained records."""
         return self._capacity
 
-    def emit(self, kind: str, **fields) -> None:
+    def emit(self, kind: str, **fields: object) -> None:
         """Record one event with scalar ``fields``."""
         if not kind:
             raise ValueError("event kind must be non-empty")
@@ -154,7 +154,7 @@ class _NullTracer(EventTracer):
     def enabled(self) -> bool:
         return False
 
-    def emit(self, kind: str, **fields) -> None:
+    def emit(self, kind: str, **fields: object) -> None:
         pass
 
 

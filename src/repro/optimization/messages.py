@@ -31,7 +31,7 @@ paths).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 
@@ -83,7 +83,7 @@ class _NodeState:
     flows: Dict[Link, float] = field(default_factory=dict)
     # Distance-vector state for SUB1.
     distance: float = _INF
-    next_hop: Optional[int] = None
+    next_hop: int | None = None
     # Neighbor values received last exchange.
     neighbor_rates: Dict[int, float] = field(default_factory=dict)
     neighbor_betas: Dict[int, float] = field(default_factory=dict)
@@ -95,7 +95,7 @@ class MessagePassingRateControl:
     def __init__(
         self,
         graph: SessionGraph,
-        config: Optional[RateControlConfig] = None,
+        config: RateControlConfig | None = None,
     ) -> None:
         self._graph = graph
         self._config = config or RateControlConfig()
@@ -293,7 +293,7 @@ class MessagePassingRateControl:
         config = self._config
         stable = 0
         converged = False
-        previous: Optional[Dict[int, float]] = None
+        previous: Dict[int, float] | None = None
         while self._iteration < config.max_iterations:
             self.step()
             recovered = self.recovered_rates()

@@ -26,7 +26,7 @@ envelope for tests.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
@@ -75,7 +75,7 @@ class MultiSessionRateControl:
     def __init__(
         self,
         graphs: Sequence[SessionGraph],
-        config: Optional[RateControlConfig] = None,
+        config: RateControlConfig | None = None,
     ) -> None:
         if not graphs:
             raise ValueError("at least one session is required")
@@ -194,7 +194,7 @@ class MultiSessionRateControl:
         config = self._config
         stable = 0
         converged = False
-        previous: Optional[List[Dict[int, float]]] = None
+        previous: List[Dict[int, float]] | None = None
         while self._iteration < config.max_iterations:
             self.step()
             recovered = self._recovered_rates()

@@ -17,7 +17,7 @@ converts results back to bytes/second.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Mapping, Optional, Tuple
+from typing import Dict, FrozenSet, Mapping, Tuple
 
 from repro.routing.node_selection import ForwarderSet
 from repro.topology.graph import Link, WirelessNetwork
@@ -126,7 +126,7 @@ def session_graph_from_selection(
     network: WirelessNetwork,
     forwarders: ForwarderSet,
     *,
-    probabilities: Optional[Mapping[Link, float]] = None,
+    probabilities: Mapping[Link, float] | None = None,
 ) -> SessionGraph:
     """Build the optimization input from a node-selection result.
 

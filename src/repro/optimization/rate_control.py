@@ -22,7 +22,7 @@ The result's rates are capacity-normalized; use
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Tuple
 
 from repro import obs
 from repro.optimization.problem import SessionGraph
@@ -168,7 +168,7 @@ class RateControlResult:
     rate_history: Tuple[Dict[int, float], ...]
     gamma_history: Tuple[float, ...]
     capacity: float
-    duals: Optional[RateControlDuals] = None
+    duals: RateControlDuals | None = None
 
     @property
     def link_prices(self) -> Dict[Link, float]:
@@ -212,11 +212,11 @@ class RateControlAlgorithm:
     def __init__(
         self,
         graph: SessionGraph,
-        config: Optional[RateControlConfig] = None,
+        config: RateControlConfig | None = None,
         *,
-        warm_start: Optional[RateControlDuals] = None,
-        registry: Optional[obs.MetricsRegistry] = None,
-        tracer: Optional[obs.EventTracer] = None,
+        warm_start: RateControlDuals | None = None,
+        registry: obs.MetricsRegistry | None = None,
+        tracer: obs.EventTracer | None = None,
     ) -> None:
         self._graph = graph
         self._config = config or RateControlConfig()
@@ -329,7 +329,7 @@ class RateControlAlgorithm:
         gamma_history: List[float] = []
         stable_iterations = 0
         converged = False
-        previous_rates: Optional[Dict[int, float]] = None
+        previous_rates: Dict[int, float] | None = None
 
         while self._iteration < config.max_iterations:
             self.step()
@@ -455,6 +455,6 @@ def feasible_scaling(
         factor = max(worst, 1.0 / max_scale_up)
     else:
         factor = 1.0
-    if factor == 1.0:
+    if factor == 1.0:  # repro: ignore[RPR004] exact sentinel set above
         return dict(rates), 1.0
     return {n: min(1.0, b / factor) for n, b in rates.items()}, factor

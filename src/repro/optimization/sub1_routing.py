@@ -26,7 +26,7 @@ prices and eq. 12 would otherwise demand unbounded flow.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Tuple
 
 import numpy as np
 
@@ -71,7 +71,7 @@ class Sub1Router:
         self._link_pos = {link: k for k, link in enumerate(self._link_order)}
         self._averager = IterateAverager(len(self._link_order), tail=recovery_tail)
         self._gamma_averager = IterateAverager(1, tail=recovery_tail)
-        self._last: Optional[Sub1Iterate] = None
+        self._last: Sub1Iterate | None = None
 
     @property
     def iterations(self) -> int:
@@ -79,7 +79,7 @@ class Sub1Router:
         return self._averager.count
 
     @property
-    def last_iterate(self) -> Optional[Sub1Iterate]:
+    def last_iterate(self) -> Sub1Iterate | None:
         """The most recent per-iteration solution."""
         return self._last
 

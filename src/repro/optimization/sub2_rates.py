@@ -30,7 +30,7 @@ neighbors").  The message-passing version lives in
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict
 
 import numpy as np
 
@@ -60,8 +60,8 @@ class Sub2RateAllocator:
         initial_rate: float = 0.01,
         primal_recovery: bool = True,
         recovery_tail: float = 0.5,
-        initial_rates: Optional[Dict[int, float]] = None,
-        initial_beta: Optional[Dict[int, float]] = None,
+        initial_rates: Dict[int, float] | None = None,
+        initial_beta: Dict[int, float] | None = None,
     ) -> None:
         if proximal_c <= 0:
             raise ValueError(f"proximal_c must be > 0, got {proximal_c}")
@@ -87,7 +87,7 @@ class Sub2RateAllocator:
         }
         self._node_order = list(graph.nodes)
         self._averager = IterateAverager(len(self._node_order), tail=recovery_tail)
-        self._last: Optional[Sub2Iterate] = None
+        self._last: Sub2Iterate | None = None
 
     @property
     def iterations(self) -> int:
@@ -95,7 +95,7 @@ class Sub2RateAllocator:
         return self._averager.count
 
     @property
-    def last_iterate(self) -> Optional[Sub2Iterate]:
+    def last_iterate(self) -> Sub2Iterate | None:
         """The most recent per-iteration solution."""
         return self._last
 
@@ -124,7 +124,7 @@ class Sub2RateAllocator:
         self,
         prices: Dict[Link, float],
         step_size: float,
-        union_prices: Optional[Dict[int, float]] = None,
+        union_prices: Dict[int, float] | None = None,
     ) -> Sub2Iterate:
         """One synchronized SUB2 update.
 

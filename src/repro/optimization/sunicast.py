@@ -26,7 +26,7 @@ All rates are capacity-normalized (C = 1); see
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Tuple
 
 import numpy as np
 from scipy.optimize import linprog
@@ -87,17 +87,20 @@ def _build_constraints(
     node_index: Dict[int, int],
     gamma_index: int,
     *,
-    fixed_gamma: Optional[float] = None,
+    fixed_gamma: float | None = None,
     broadcast_information: bool = True,
     mac_constraint: bool = True,
-):
+) -> Tuple[csr_matrix, np.ndarray, csr_matrix, np.ndarray]:
     """Assemble (A_eq, b_eq, A_ub, b_ub) shared by both LP variants.
 
     With ``fixed_gamma`` the gamma column is removed from the equality
     system and moved to the right-hand side (min-cost mode).
     """
     columns = gamma_index + 1
-    eq_rows, eq_cols, eq_vals, eq_rhs = [], [], [], []
+    eq_rows: List[int] = []
+    eq_cols: List[int] = []
+    eq_vals: List[float] = []
+    eq_rhs: List[float] = []
     # Flow conservation (2): one row per node.
     for row, node in enumerate(graph.nodes):
         for link in graph.out_links(node):
@@ -118,7 +121,10 @@ def _build_constraints(
         else:
             eq_rhs.append(float(sigma) * fixed_gamma)
 
-    ub_rows, ub_cols, ub_vals, ub_rhs = [], [], [], []
+    ub_rows: List[int] = []
+    ub_cols: List[int] = []
+    ub_vals: List[float] = []
+    ub_rhs: List[float] = []
     row = 0
     # Loss coupling (5): x_ij - b_i * p_ij <= 0.
     for link in graph.links:
@@ -303,7 +309,10 @@ def solve_min_cost_routing(
         raise ValueError(f"throughput must be > 0, got {throughput}")
     link_index = {link: k for k, link in enumerate(graph.links)}
     columns = len(link_index)
-    eq_rows, eq_cols, eq_vals, eq_rhs = [], [], [], []
+    eq_rows: List[int] = []
+    eq_cols: List[int] = []
+    eq_vals: List[float] = []
+    eq_rhs: List[float] = []
     for row, node in enumerate(graph.nodes):
         for link in graph.out_links(node):
             eq_rows.append(row)

@@ -20,9 +20,15 @@ against the data plane as stalled airtime.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.optimization.rate_control import RateControlConfig, RateControlDuals
+from repro.protocols.base import (
+    CodedBroadcastPlan,
+    CreditBroadcastPlan,
+    SessionPlan,
+    UnicastPathPlan,
+)
 from repro.protocols.etx_routing import plan_etx_route
 from repro.protocols.more import plan_more
 from repro.protocols.oldmore import plan_oldmore
@@ -63,7 +69,7 @@ class AdaptivePlanner:
         evidence trail."""
         return tuple(self._iterations)
 
-    def plan(self, network: WirelessNetwork):
+    def plan(self, network: WirelessNetwork) -> SessionPlan:
         """Produce a plan for the current topology (warm where supported)."""
         raise NotImplementedError
 
@@ -91,18 +97,18 @@ class AdaptiveOmncPlanner(AdaptivePlanner):
         source: int,
         destination: int,
         *,
-        config: Optional[RateControlConfig] = None,
+        config: RateControlConfig | None = None,
     ) -> None:
         super().__init__(source, destination)
         self._config = config
-        self._duals: Optional[RateControlDuals] = None
+        self._duals: RateControlDuals | None = None
 
     @property
-    def duals(self) -> Optional[RateControlDuals]:
+    def duals(self) -> RateControlDuals | None:
         """Dual prices of the latest plan (the warm-start state)."""
         return self._duals
 
-    def plan(self, network: WirelessNetwork):
+    def plan(self, network: WirelessNetwork) -> CodedBroadcastPlan:
         report = plan_omnc_detailed(
             network,
             self._source,
@@ -131,7 +137,7 @@ class AdaptiveMorePlanner(AdaptivePlanner):
 
     label = "more"
 
-    def plan(self, network: WirelessNetwork):
+    def plan(self, network: WirelessNetwork) -> CreditBroadcastPlan:
         self._iterations.append(0)
         return plan_more(network, self._source, self._destination)
 
@@ -144,7 +150,7 @@ class AdaptiveOldMorePlanner(AdaptivePlanner):
 
     label = "oldmore"
 
-    def plan(self, network: WirelessNetwork):
+    def plan(self, network: WirelessNetwork) -> CreditBroadcastPlan:
         self._iterations.append(0)
         return plan_oldmore(network, self._source, self._destination)
 
@@ -157,7 +163,7 @@ class AdaptiveEtxPlanner(AdaptivePlanner):
 
     label = "etx"
 
-    def plan(self, network: WirelessNetwork):
+    def plan(self, network: WirelessNetwork) -> UnicastPathPlan:
         self._iterations.append(0)
         return plan_etx_route(network, self._source, self._destination)
 
@@ -170,7 +176,7 @@ def make_planner(
     source: int,
     destination: int,
     *,
-    config: Optional[RateControlConfig] = None,
+    config: RateControlConfig | None = None,
 ) -> AdaptivePlanner:
     """Controller factory keyed by the CLI's protocol names."""
     if protocol == "omnc":

@@ -143,3 +143,8 @@ class UnicastPathPlan:
     def hop_count(self) -> int:
         """Number of links on the path."""
         return len(self.path) - 1
+
+
+#: Any plan a session driver can execute (see
+#: :func:`repro.emulator.session.build_plan_runtimes`).
+SessionPlan = CodedBroadcastPlan | CreditBroadcastPlan | UnicastPathPlan

@@ -75,7 +75,7 @@ def predicted_etx_throughput(
             if _links_conflict(network, (i, j), (k, l)):
                 load += costs[b]
         worst = max(worst, load)
-    if worst == 0.0:
+    if worst == 0.0:  # repro: ignore[RPR004] exact sentinel (no load at all)
         return 0.0
     return network.capacity / worst
 

@@ -19,7 +19,7 @@ DAG ("the multiple opportunistic paths are constructed implicitly").
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, List, Optional, Tuple
+from typing import Dict, FrozenSet, List, Set, Tuple
 
 from repro.routing.etx import etx_weights
 from repro.routing.shortest_path import dijkstra_to_destination
@@ -78,8 +78,8 @@ def select_forwarders(
     source: int,
     destination: int,
     *,
-    weights: Optional[Dict[Link, float]] = None,
-    max_distance_factor: Optional[float] = None,
+    weights: Dict[Link, float] | None = None,
+    max_distance_factor: float | None = None,
 ) -> ForwarderSet:
     """Run the node-selection procedure for one unicast session.
 
@@ -127,7 +127,7 @@ def select_forwarders(
         cap = max_distance_factor * source_distance
         candidates = {
             node
-            for node in candidates
+            for node in sorted(candidates)
             if to_destination.distance[node] <= cap or node == source
         }
 
@@ -146,9 +146,9 @@ def select_forwarders(
     selected = set(reached)
     while True:
         dag = _dag_links(network, selected, to_destination.distance)
-        has_out = {i for (i, j) in dag}
+        has_out = {i for (i, j) in sorted(dag)}
         dead = {
-            n for n in selected if n != destination and n not in has_out
+            n for n in sorted(selected) if n != destination and n not in has_out
         }
         if not dead:
             break
@@ -158,7 +158,7 @@ def select_forwarders(
             )
         selected -= dead
 
-    distances = {n: to_destination.distance[n] for n in selected}
+    distances = {n: to_destination.distance[n] for n in sorted(selected)}
     return ForwarderSet(
         source=source,
         destination=destination,
@@ -171,9 +171,9 @@ def select_forwarders(
 def _flood_decreasing(
     network: WirelessNetwork,
     source: int,
-    candidates: set,
+    candidates: Set[int],
     distance: Dict[int, float],
-) -> set:
+) -> Set[int]:
     """BFS from the source over links that strictly decrease ETX distance."""
     reached = {source}
     frontier: List[int] = [source]
@@ -190,7 +190,7 @@ def _flood_decreasing(
 
 def _dag_links(
     network: WirelessNetwork,
-    selected: set,
+    selected: Set[int],
     distance: Dict[int, float],
 ) -> List[Link]:
     """Directed links among ``selected`` oriented toward the destination."""

@@ -70,7 +70,7 @@ def dijkstra(
     node_set = set(nodes)
     if source not in node_set:
         raise ValueError(f"source {source} not among nodes")
-    adjacency: Dict[int, List[Tuple[int, float]]] = {n: [] for n in node_set}
+    adjacency: Dict[int, List[Tuple[int, float]]] = {n: [] for n in sorted(node_set)}
     for (i, j), w in weights.items():
         if w < 0:
             raise ValueError(f"negative weight on link ({i},{j}): {w}")

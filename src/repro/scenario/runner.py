@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Tuple
 
 from repro import obs
 from repro.emulator.channel import LossyBroadcastChannel
@@ -53,6 +53,7 @@ from repro.protocols.adaptive import AdaptivePlanner
 from repro.protocols.base import (
     CodedBroadcastPlan,
     CreditBroadcastPlan,
+    SessionPlan,
     UnicastPathPlan,
 )
 from repro.routing.node_selection import NodeSelectionError
@@ -147,10 +148,10 @@ def run_adaptive_session(
     spec: ScenarioSpec,
     *,
     session_id: int = 1,
-    config: Optional[SessionConfig] = None,
-    rng: Optional[RngFactory] = None,
-    registry: Optional[obs.MetricsRegistry] = None,
-    tracer: Optional[SessionTracer] = None,
+    config: SessionConfig | None = None,
+    rng: RngFactory | None = None,
+    registry: obs.MetricsRegistry | None = None,
+    tracer: SessionTracer | None = None,
 ) -> AdaptiveSessionResult:
     """Run one session live under a scenario.
 
@@ -348,11 +349,11 @@ def run_adaptive_session(
 
 def _hot_swap(
     engine: EmulationEngine,
-    plan,
+    plan: SessionPlan,
     timeline: ScenarioTimeline,
     config: SessionConfig,
     rng: RngFactory,
-    on_delivered,
+    on_delivered: Callable[[int], None],
 ) -> None:
     """Apply a new plan to the live runtimes and refresh the engine.
 
@@ -383,7 +384,7 @@ def _make_coded_relay(
     session_id: int,
     config: SessionConfig,
     rng: RngFactory,
-    **kwargs,
+    **kwargs: Any,
 ) -> NodeRuntime:
     packet_bytes = config.coded_packet_bytes()
     if config.coding_fidelity == "exact":
@@ -497,7 +498,7 @@ def _swap_unicast_plan(
     network: WirelessNetwork,
     config: SessionConfig,
     cbr: float,
-    on_delivered,
+    on_delivered: Callable[[int], None],
 ) -> Dict[int, NodeRuntime]:
     """ETX: re-route the path; surviving nodes keep queued packets."""
     packet_bytes = config.unicast_packet_bytes()

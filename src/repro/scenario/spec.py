@@ -24,7 +24,7 @@ from __future__ import annotations
 import json
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, Optional, Tuple, Union
+from typing import Any, Dict, Tuple
 
 from repro.topology.dynamics import perturb_link_qualities
 from repro.topology.graph import Link, WirelessNetwork
@@ -49,8 +49,8 @@ class ScenarioEvent:
     at: float
     kind: str
     sigma: float = 0.0
-    node: Optional[int] = None
-    cbr_fraction: Optional[float] = None
+    node: int | None = None
+    cbr_fraction: float | None = None
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -68,9 +68,9 @@ class ScenarioEvent:
                     f"load events need cbr_fraction in (0, 1], got {self.cbr_fraction}"
                 )
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         """JSON-compatible representation (omits unused fields)."""
-        record: dict = {"at": self.at, "kind": self.kind}
+        record: dict[str, object] = {"at": self.at, "kind": self.kind}
         if self.kind == "drift":
             record["sigma"] = self.sigma
         if self.node is not None:
@@ -80,7 +80,7 @@ class ScenarioEvent:
         return record
 
     @classmethod
-    def from_dict(cls, record: dict) -> "ScenarioEvent":
+    def from_dict(cls, record: dict[str, Any]) -> "ScenarioEvent":
         """Inverse of :meth:`as_dict`."""
         return cls(
             at=float(record["at"]),
@@ -134,7 +134,7 @@ class ScenarioSpec:
         """Events with ``start < at <= end`` (one epoch's arrivals)."""
         return tuple(e for e in self.events if start < e.at <= end)
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, object]:
         """JSON-compatible representation."""
         return {
             "name": self.name,
@@ -144,7 +144,7 @@ class ScenarioSpec:
         }
 
     @classmethod
-    def from_dict(cls, record: dict) -> "ScenarioSpec":
+    def from_dict(cls, record: dict[str, Any]) -> "ScenarioSpec":
         """Inverse of :meth:`as_dict`."""
         return cls(
             name=record["name"],
@@ -155,12 +155,12 @@ class ScenarioSpec:
             ),
         )
 
-    def to_json(self, path: Union[str, Path]) -> None:
+    def to_json(self, path: str | Path) -> None:
         """Write the spec as a JSON file."""
         Path(path).write_text(json.dumps(self.as_dict(), indent=2) + "\n")
 
     @classmethod
-    def from_json(cls, path: Union[str, Path]) -> "ScenarioSpec":
+    def from_json(cls, path: str | Path) -> "ScenarioSpec":
         """Load a spec previously written by :meth:`to_json`."""
         return cls.from_dict(json.loads(Path(path).read_text()))
 
@@ -238,7 +238,7 @@ class ScenarioTimeline:
         self._rng = as_rng(rng)
         self._index = 0
         self._saved_links: Dict[int, Dict[Link, float]] = {}
-        self._cbr_fraction: Optional[float] = None
+        self._cbr_fraction: float | None = None
 
     @property
     def network(self) -> WirelessNetwork:
@@ -251,7 +251,7 @@ class ScenarioTimeline:
         return self._spec
 
     @property
-    def cbr_fraction(self) -> Optional[float]:
+    def cbr_fraction(self) -> float | None:
         """Offered-load override from the latest ``load`` event (None
         until one fires)."""
         return self._cbr_fraction

@@ -49,7 +49,7 @@ def perturb_link_qualities(
     generator = as_rng(rng)
     drifted: Dict[Link, float] = {}
     for i, j, p in network.links():
-        if sigma == 0.0:
+        if sigma == 0.0:  # repro: ignore[RPR004] exact sentinel (sigma=0 copy)
             drifted[(i, j)] = p
             continue
         logit = np.log(p / (1.0 - p))
@@ -90,7 +90,7 @@ def quality_drift(
         return 0.0
     total = sum(
         abs(links_after.get(link, 0.0) - links_before.get(link, 0.0))
-        for link in union
+        for link in sorted(union)
     )
     return total / len(union)
 

@@ -226,7 +226,7 @@ class SubNetworkView:
     """
 
     def __init__(self, base: WirelessNetwork, keep: FrozenSet[int]) -> None:
-        for node in keep:
+        for node in sorted(keep):
             if not 0 <= node < base.node_count:
                 raise ValueError(f"node {node} outside base network")
         self._base = base

@@ -149,7 +149,7 @@ class EmpiricalPhyModel:
             return 0.0
         mean = self.mean_probability(distance)
         sigma = self._params.shadowing_sigma
-        if sigma == 0.0:
+        if sigma == 0.0:  # repro: ignore[RPR004] exact sentinel (no shadowing)
             return mean
         logit = np.log(mean / (1.0 - mean))
         jittered = logit + self._rng.normal(0.0, sigma)

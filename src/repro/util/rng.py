@@ -13,11 +13,38 @@ semantics keyed by the purpose string.
 from __future__ import annotations
 
 import zlib
-from typing import Optional, Union
 
 import numpy as np
 
-RngLike = Union[int, np.random.Generator, None]
+RngLike = int | np.random.Generator | None
+
+#: Frozen seeds of the named fallback streams (see :func:`fallback_rng`).
+#: The values are bit-compatible with the historical ``default_rng(0)`` /
+#: ``default_rng(1)`` fallbacks they replaced; changing one changes every
+#: trace produced by components built without an explicit generator.
+_FALLBACK_SEEDS: dict[str, int] = {
+    "mac-scheduler": 0,
+    "engine-capture": 1,
+}
+
+
+def fallback_rng(stream: str) -> np.random.Generator:
+    """The named deterministic fallback stream ``stream``.
+
+    Components that accept an optional generator (the emulation engine,
+    the MAC scheduler) fall back to these fixed streams when constructed
+    without one — tests and ad-hoc scripts stay reproducible without
+    plumbing a factory.  Production paths always pass explicit streams
+    derived from :class:`RngFactory`.
+    """
+    try:
+        seed = _FALLBACK_SEEDS[stream]
+    except KeyError:
+        known = ", ".join(sorted(_FALLBACK_SEEDS))
+        raise ValueError(
+            f"unknown fallback stream {stream!r} (known: {known})"
+        ) from None
+    return np.random.default_rng(seed)
 
 
 def as_rng(seed: RngLike) -> np.random.Generator:
@@ -55,7 +82,7 @@ class RngFactory:
         """The master experiment seed."""
         return self._seed
 
-    def derive(self, name: str, index: Optional[int] = None) -> np.random.Generator:
+    def derive(self, name: str, index: int | None = None) -> np.random.Generator:
         """Return a generator for the stream ``name`` (and optional ``index``)."""
         if not isinstance(name, str) or not name:
             raise ValueError("name must be a non-empty string")

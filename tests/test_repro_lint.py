@@ -1,0 +1,434 @@
+"""Tests for the ``repro lint`` static-analysis pass.
+
+Each rule gets positive (must flag) and negative (must stay silent)
+fixtures; the baseline mechanism, pragma suppression and the CLI's exit
+codes / JSON output are exercised end to end through ``repro.cli.main``.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis import (
+    Finding,
+    LintConfig,
+    lint_source,
+    load_baseline,
+    partition,
+    save_baseline,
+)
+from repro.analysis.baseline import BaselineError
+from repro.cli import main as cli_main
+
+
+def rules_of(source: str, path: str = "src/repro/x.py") -> list[str]:
+    return [f.rule for f in lint_source(source, path)]
+
+
+class TestRPR001NoUnseededRng:
+    def test_default_rng_flagged(self):
+        assert rules_of("import numpy as np\nrng = np.random.default_rng()\n") == [
+            "RPR001"
+        ]
+
+    def test_seeded_default_rng_still_flagged(self):
+        # Even a literal seed bypasses the named-stream discipline.
+        assert "RPR001" in rules_of(
+            "import numpy as np\nrng = np.random.default_rng(42)\n"
+        )
+
+    def test_bare_default_rng_import_flagged(self):
+        src = "from numpy.random import default_rng\nrng = default_rng(3)\n"
+        assert "RPR001" in rules_of(src)
+
+    def test_legacy_numpy_global_flagged(self):
+        assert "RPR001" in rules_of("import numpy as np\nnp.random.seed(1)\n")
+        assert "RPR001" in rules_of("import numpy as np\nx = np.random.rand(4)\n")
+
+    def test_stdlib_random_flagged(self):
+        assert "RPR001" in rules_of("import random\nx = random.random()\n")
+        assert "RPR001" in rules_of("import random\nr = random.Random(7)\n")
+
+    def test_generator_method_calls_allowed(self):
+        src = "def f(rng):\n    return rng.integers(0, 4) + rng.exponential()\n"
+        assert "RPR001" not in rules_of(src)
+
+    def test_seed_sequence_allowed(self):
+        src = "import numpy as np\nseq = np.random.SeedSequence(entropy=5)\n"
+        assert "RPR001" not in rules_of(src)
+
+    def test_rng_root_module_exempt(self):
+        src = "import numpy as np\nrng = np.random.default_rng(0)\n"
+        assert rules_of(src, path="src/repro/util/rng.py") == []
+
+    def test_rng_root_pragma(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(0)  # repro: rng-root\n"
+        )
+        assert rules_of(src) == []
+
+    def test_rng_root_pragma_does_not_cover_other_rules(self):
+        src = "import time\nt = time.time()  # repro: rng-root\n"
+        assert "RPR002" in rules_of(src)
+
+
+class TestRPR002NoWallclock:
+    def test_time_time_flagged(self):
+        assert rules_of("import time\nt = time.time()\n") == ["RPR002"]
+
+    def test_perf_counter_flagged(self):
+        assert "RPR002" in rules_of("import time\nt = time.perf_counter()\n")
+        assert "RPR002" in rules_of(
+            "from time import perf_counter\nt = perf_counter()\n"
+        )
+
+    def test_datetime_now_flagged(self):
+        assert "RPR002" in rules_of(
+            "import datetime\nnow = datetime.datetime.now()\n"
+        )
+        assert "RPR002" in rules_of(
+            "from datetime import datetime\nnow = datetime.now()\n"
+        )
+
+    def test_obs_and_benchmarks_allowed(self):
+        src = "import time\nt = time.time()\n"
+        assert rules_of(src, path="src/repro/obs/metrics.py") == []
+        assert rules_of(src, path="benchmarks/bench_x.py") == []
+
+    def test_pragma_suppresses(self):
+        src = "import time\nt = time.time()  # repro: ignore[RPR002]\n"
+        assert rules_of(src) == []
+
+    def test_sleep_is_not_a_clock_read(self):
+        assert rules_of("import time\ntime.sleep(1)\n") == []
+
+
+class TestRPR003NoSetIteration:
+    def test_for_over_set_literal(self):
+        assert rules_of("for x in {1, 2, 3}:\n    pass\n") == ["RPR003"]
+
+    def test_for_over_set_call(self):
+        assert "RPR003" in rules_of("for x in set([3, 1]):\n    pass\n")
+
+    def test_comprehension_over_set_variable(self):
+        src = "s = {1, 2}\nout = [x for x in s]\n"
+        assert "RPR003" in rules_of(src)
+
+    def test_dict_comprehension_over_annotated_set_param(self):
+        src = (
+            "def f(nodes: set[int]) -> dict[int, int]:\n"
+            "    return {n: 0 for n in nodes}\n"
+        )
+        assert "RPR003" in rules_of(src)
+
+    def test_set_union_operator(self):
+        src = "a = {1}\nb = {2}\nfor x in a | b:\n    pass\n"
+        assert "RPR003" in rules_of(src)
+
+    def test_intersection_method(self):
+        src = "def f(a: set[int], b: set[int]) -> None:\n"
+        src += "    for x in a.intersection(b):\n        pass\n"
+        assert "RPR003" in rules_of(src)
+
+    def test_sorted_set_allowed(self):
+        assert rules_of("for x in sorted({3, 1}):\n    pass\n") == []
+
+    def test_list_iteration_allowed(self):
+        assert rules_of("for x in [1, 2]:\n    pass\n") == []
+
+    def test_reassignment_to_list_clears_tracking(self):
+        src = "s = {1, 2}\ns = sorted(s)\nfor x in s:\n    pass\n"
+        assert rules_of(src) == []
+
+    def test_membership_tests_allowed(self):
+        # Only *iteration* is order-sensitive; membership is fine.
+        assert rules_of("s = {1, 2}\nok = 1 in s\n") == []
+
+
+class TestRPR004NoFloatEquality:
+    def test_eq_float_literal(self):
+        assert rules_of("def f(x: float) -> bool:\n    return x == 1.0\n") == [
+            "RPR004"
+        ]
+
+    def test_neq_float_literal(self):
+        assert "RPR004" in rules_of("def f(x: float) -> bool:\n    return 0.5 != x\n")
+
+    def test_negative_literal(self):
+        assert "RPR004" in rules_of("def f(x: float) -> bool:\n    return x == -1.0\n")
+
+    def test_int_equality_allowed(self):
+        assert rules_of("def f(x: int) -> bool:\n    return x == 1\n") == []
+
+    def test_ordering_comparisons_allowed(self):
+        assert rules_of("def f(x: float) -> bool:\n    return x <= 1.0\n") == []
+
+    def test_pragma_suppresses(self):
+        src = (
+            "def f(x: float) -> bool:\n"
+            "    return x == 0.0  # repro: ignore[RPR004]\n"
+        )
+        assert rules_of(src) == []
+
+
+class TestRPR005PublicApiAnnotations:
+    def test_missing_return_annotation(self):
+        findings = lint_source("def run(x: int):\n    return x\n")
+        assert [f.rule for f in findings] == ["RPR005"]
+        assert "return annotation" in findings[0].message
+
+    def test_missing_parameter_annotation(self):
+        findings = lint_source("def run(x) -> int:\n    return x\n")
+        assert [f.rule for f in findings] == ["RPR005"]
+        assert "x" in findings[0].message
+
+    def test_public_method_checked_and_self_skipped(self):
+        src = (
+            "class Engine:\n"
+            "    def step(self, dt) -> None:\n"
+            "        pass\n"
+        )
+        assert rules_of(src) == ["RPR005"]
+
+    def test_init_requires_return_annotation(self):
+        src = "class A:\n    def __init__(self, x: int):\n        self.x = x\n"
+        assert rules_of(src) == ["RPR005"]
+
+    def test_private_and_nested_functions_skipped(self):
+        src = (
+            "def _helper(x):\n"
+            "    return x\n"
+            "def public() -> None:\n"
+            "    def inner(y):\n"
+            "        return y\n"
+            "    inner(1)\n"
+        )
+        assert rules_of(src) == []
+
+    def test_fully_annotated_passes(self):
+        src = (
+            "def run(x: int, *args: str, flag: bool = False, **kw: object) -> int:\n"
+            "    return x\n"
+        )
+        assert rules_of(src) == []
+
+
+class TestPragmas:
+    def test_multiple_codes_in_one_pragma(self):
+        src = (
+            "import time\n"
+            "import numpy as np\n"
+            "t = [time.time(), np.random.default_rng()]"
+            "  # repro: ignore[RPR001, RPR002]\n"
+        )
+        assert rules_of(src) == []
+
+    def test_pragma_only_covers_its_line(self):
+        src = (
+            "import time\n"
+            "a = time.time()  # repro: ignore[RPR002]\n"
+            "b = time.time()\n"
+        )
+        findings = lint_source(src)
+        assert [(f.rule, f.line) for f in findings] == [("RPR002", 3)]
+
+
+class TestBaseline:
+    def make(self, rule: str = "RPR002", snippet: str = "t = time.time()") -> Finding:
+        return Finding(
+            rule=rule, path="src/repro/x.py", line=3, column=5,
+            message="m", snippet=snippet,
+        )
+
+    def test_roundtrip(self, tmp_path: Path):
+        path = tmp_path / "baseline.json"
+        finding = self.make()
+        save_baseline(path, [finding])
+        counts = load_baseline(path)
+        assert counts[finding.fingerprint()] == 1
+
+    def test_partition_matches_and_new(self, tmp_path: Path):
+        path = tmp_path / "baseline.json"
+        old = self.make()
+        save_baseline(path, [old])
+        fresh = self.make(snippet="u = time.time()")
+        new, matched, stale = partition([old, fresh], load_baseline(path))
+        assert new == [fresh]
+        assert matched == [old]
+        assert stale == 0
+
+    def test_multiset_semantics(self, tmp_path: Path):
+        # Two identical violations, only one grandfathered: one is new.
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [self.make()])
+        duplicate = self.make()
+        new, matched, stale = partition(
+            [duplicate, duplicate], load_baseline(path)
+        )
+        assert len(new) == 1 and len(matched) == 1 and stale == 0
+
+    def test_stale_counted(self, tmp_path: Path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [self.make(), self.make(snippet="other")])
+        new, matched, stale = partition([], load_baseline(path))
+        assert (new, matched, stale) == ([], [], 2)
+
+    def test_line_numbers_do_not_affect_matching(self, tmp_path: Path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [self.make()])
+        moved = Finding(
+            rule="RPR002", path="src/repro/x.py", line=99, column=1,
+            message="m", snippet="t = time.time()",
+        )
+        new, matched, _ = partition([moved], load_baseline(path))
+        assert new == [] and matched == [moved]
+
+    def test_malformed_baseline_raises(self, tmp_path: Path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{\"version\": 99}")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+
+class TestCli:
+    CLEAN = "def run(x: int) -> int:\n    return x\n"
+    DIRTY = "import time\n\n\ndef run(x: int) -> float:\n    return time.time()\n"
+
+    def test_exit_zero_on_clean_tree(self, tmp_path: Path, monkeypatch):
+        (tmp_path / "clean.py").write_text(self.CLEAN)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "clean.py"]) == 0
+
+    def test_exit_one_on_finding(self, tmp_path: Path, monkeypatch, capsys):
+        (tmp_path / "dirty.py").write_text(self.DIRTY)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "dirty.py"]) == 1
+        out = capsys.readouterr().out
+        assert "RPR002" in out and "dirty.py:5" in out
+
+    def test_json_output(self, tmp_path: Path, monkeypatch, capsys):
+        (tmp_path / "dirty.py").write_text(self.DIRTY)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "dirty.py", "--format", "json"]) == 1
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["files_checked"] == 1
+        assert payload["baselined"] == 0
+        (finding,) = payload["findings"]
+        assert finding["rule"] == "RPR002"
+        assert finding["path"] == "dirty.py"
+        assert finding["line"] == 5
+
+    def test_github_format(self, tmp_path: Path, monkeypatch, capsys):
+        (tmp_path / "dirty.py").write_text(self.DIRTY)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "dirty.py", "--format", "github"]) == 1
+        out = capsys.readouterr().out
+        assert "::error file=dirty.py,line=5" in out
+        assert "title=repro-lint RPR002" in out
+
+    def test_select_unknown_rule_is_usage_error(self, tmp_path: Path, monkeypatch):
+        (tmp_path / "clean.py").write_text(self.CLEAN)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "clean.py", "--select", "RPR999"]) == 2
+
+    def test_select_restricts_rules(self, tmp_path: Path, monkeypatch):
+        (tmp_path / "dirty.py").write_text(self.DIRTY)
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "dirty.py", "--select", "RPR004"]) == 0
+
+    def test_missing_explicit_baseline_is_usage_error(
+        self, tmp_path: Path, monkeypatch
+    ):
+        (tmp_path / "clean.py").write_text(self.CLEAN)
+        monkeypatch.chdir(tmp_path)
+        assert (
+            cli_main(["lint", "clean.py", "--baseline", "nope.json"]) == 2
+        )
+
+    def test_baselined_finding_passes(self, tmp_path: Path, monkeypatch):
+        (tmp_path / "dirty.py").write_text(self.DIRTY)
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        findings = lint_source(self.DIRTY, "dirty.py")
+        save_baseline(baseline, findings)
+        assert (
+            cli_main(["lint", "dirty.py", "--baseline", str(baseline)]) == 0
+        )
+
+    def test_update_refuses_new_findings(self, tmp_path: Path, monkeypatch):
+        (tmp_path / "dirty.py").write_text(self.DIRTY)
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        save_baseline(baseline, [])
+        assert (
+            cli_main(
+                [
+                    "lint", "dirty.py",
+                    "--baseline", str(baseline),
+                    "--update-baseline",
+                ]
+            )
+            == 1
+        )
+        # Refused: the baseline never grows.
+        assert load_baseline(baseline) == {}
+
+    def test_update_prunes_stale_entries(self, tmp_path: Path, monkeypatch):
+        (tmp_path / "clean.py").write_text(self.CLEAN)
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        ghost = Finding(
+            rule="RPR002", path="clean.py", line=1, column=1,
+            message="m", snippet="t = time.time()",
+        )
+        save_baseline(baseline, [ghost])
+        assert (
+            cli_main(
+                [
+                    "lint", "clean.py",
+                    "--baseline", str(baseline),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        assert load_baseline(baseline) == {}
+
+    def test_stale_baseline_fails_normal_run(self, tmp_path: Path, monkeypatch):
+        (tmp_path / "clean.py").write_text(self.CLEAN)
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        ghost = Finding(
+            rule="RPR002", path="clean.py", line=1, column=1,
+            message="m", snippet="t = time.time()",
+        )
+        save_baseline(baseline, [ghost])
+        assert (
+            cli_main(["lint", "clean.py", "--baseline", str(baseline)]) == 1
+        )
+
+    def test_parse_error_fails(self, tmp_path: Path, monkeypatch, capsys):
+        (tmp_path / "broken.py").write_text("def oops(:\n")
+        monkeypatch.chdir(tmp_path)
+        assert cli_main(["lint", "broken.py"]) == 1
+        assert "parse failure" in capsys.readouterr().out
+
+
+class TestRepoIsClean:
+    def test_src_tree_has_no_findings(self):
+        # The acceptance gate: the shipped tree lints clean with an
+        # empty baseline — emulator/, coding/ and optimization/ carry
+        # no grandfathered findings.
+        repo = Path(__file__).resolve().parent.parent
+        from repro.analysis.runner import lint_paths
+
+        findings, errors, checked = lint_paths(
+            [repo / "src"], repo, LintConfig()
+        )
+        assert errors == []
+        assert checked > 60
+        assert findings == []
