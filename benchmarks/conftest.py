@@ -5,10 +5,21 @@ The figure benchmarks share one campaign per quality regime so that
 paper from a single pass over the emulator.  Scale follows the
 environment: reduced by default, ``OMNC_FULL_SCALE=1`` for the paper's
 300-node / 300-session setup.
+
+The campaigns run on the :mod:`repro.exec` engine, so the environment
+also selects the execution policy (results are bit-identical either
+way):
+
+* ``OMNC_BENCH_JOBS=N`` — worker processes per campaign (default 1);
+* ``OMNC_BENCH_CACHE_DIR=DIR`` — content-addressed result cache, which
+  lets repeated benchmark invocations skip already-measured sessions.
 """
+
+import os
 
 import pytest
 
+from repro.exec import ExecutionPolicy
 from repro.experiments.common import CampaignConfig, run_campaign
 
 BENCH_SESSIONS = 10
@@ -27,13 +38,21 @@ def bench_config(quality: str) -> CampaignConfig:
     )
 
 
+def bench_policy() -> ExecutionPolicy:
+    """The environment-selected execution policy for bench campaigns."""
+    return ExecutionPolicy(
+        jobs=int(os.environ.get("OMNC_BENCH_JOBS", "1")),
+        cache_dir=os.environ.get("OMNC_BENCH_CACHE_DIR"),
+    )
+
+
 @pytest.fixture(scope="session")
 def lossy_campaign():
     """The Fig. 2 (left) / Fig. 3 / Fig. 4 campaign, run once."""
-    return run_campaign(bench_config("lossy"))
+    return run_campaign(bench_config("lossy"), policy=bench_policy())
 
 
 @pytest.fixture(scope="session")
 def high_quality_campaign():
     """The Fig. 2 (right) campaign, run once."""
-    return run_campaign(bench_config("high"))
+    return run_campaign(bench_config("high"), policy=bench_policy())

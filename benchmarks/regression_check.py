@@ -95,15 +95,22 @@ class ProbeResult:
     20-40% between identical processes on shared runners, independent of
     the calibration workload, so they are reported and uploaded but
     excluded from the hard gate (``compare(strict=True)`` includes them).
+
+    ``ratio`` probes measure a dimensionless ratio of two workloads in
+    the same process (e.g. a speedup); they are already machine-
+    normalized, so calibration is not applied.
     """
 
     name: str
-    raw: float  # machine-dependent throughput
+    raw: float  # machine-dependent throughput (or a ratio)
     unit: str
     advisory: bool = False
+    ratio: bool = False
 
     def normalized(self, calibration: float) -> float:
         """Throughput relative to the calibration workload."""
+        if self.ratio:
+            return self.raw
         return self.raw / calibration
 
 
@@ -362,6 +369,55 @@ def probe_adaptive_replan(
     )
 
 
+def probe_campaign_parallel_speedup(
+    *, nodes: int, sessions: int, seconds: float, rounds: int
+) -> ProbeResult:
+    """Executor scaling: serial wall time over ``--jobs N`` wall time.
+
+    Runs an identical reduced four-protocol campaign twice — serially and
+    on a worker pool sized ``min(4, cpu_count)`` — and reports the
+    speedup.  On an idle 4-core machine this should exceed 2x; on a
+    single core it hovers near 1x minus pool overhead (the engine must
+    not make campaigns *slower* when parallelism buys nothing).  The
+    probe is *advisory*: its value is a property of the machine's core
+    count and load, not of the code alone.
+    """
+    import multiprocessing
+
+    from repro.exec import ExecutionPolicy
+    from repro.experiments.common import CampaignConfig, run_campaign
+
+    workers = max(2, min(4, multiprocessing.cpu_count()))
+    config = CampaignConfig(
+        node_count=nodes,
+        sessions=sessions,
+        min_hops=2,
+        max_hops=8,
+        session_seconds=seconds,
+        target_generations=2,
+        seed=2008,
+    )
+
+    def run() -> float:
+        started = time.perf_counter()
+        serial = run_campaign(config, policy=ExecutionPolicy(jobs=1))
+        serial_wall = time.perf_counter() - started
+        started = time.perf_counter()
+        parallel = run_campaign(config, policy=ExecutionPolicy(jobs=workers))
+        parallel_wall = time.perf_counter() - started
+        if serial.digest() != parallel.digest():  # determinism is the contract
+            raise RuntimeError("parallel campaign diverged from serial")
+        return serial_wall / parallel_wall
+
+    return ProbeResult(
+        "campaign_parallel_speedup",
+        _best_of(run, rounds),
+        "x",
+        advisory=True,
+        ratio=True,
+    )
+
+
 def probe_optimizer(*, inner: int, rounds: int) -> ProbeResult:
     """Distributed rate-control iterations per wall second (Fig. 1 graph)."""
     network = fig1_sample_topology(capacity=1e5)
@@ -425,6 +481,12 @@ def collect(mode: str = "full") -> dict:
             seconds=40.0 if quick else 120.0,
             epochs=4 if quick else 8,
             rounds=2 if quick else 3,
+        ),
+        probe_campaign_parallel_speedup(
+            nodes=40,
+            sessions=4 if quick else 8,
+            seconds=20.0 if quick else 60.0,
+            rounds=2,
         ),
         probe_optimizer(inner=10 if quick else 20, rounds=3 if quick else 3),
     ]

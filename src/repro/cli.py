@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from repro import obs
 from repro.analysis import runner as analysis_runner
+from repro.exec import add_execution_arguments, policy_from_args
 from repro.emulator.session import (
     SessionConfig,
     run_coded_session,
@@ -56,7 +57,7 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
     config = CampaignConfig.from_environment(
         quality=args.quality, sessions=args.sessions
     )
-    result = run_fig2(args.quality, config)
+    result = run_fig2(args.quality, config, policy=policy_from_args(args))
     paper = PAPER_MEAN_GAINS[args.quality]
     print(f"Figure 2 ({args.quality}): mean throughput gain over ETX")
     for protocol in ("omnc", "more", "oldmore"):
@@ -64,27 +65,33 @@ def _cmd_fig2(args: argparse.Namespace) -> int:
             f"  {protocol:8s} {result.mean_gain(protocol):5.2f} "
             f"(paper {paper[protocol]:.2f})"
         )
+    campaign = result.campaign
+    if campaign.cache_hits or campaign.failures:
+        print(
+            f"  ({campaign.cache_hits} cached session(s), "
+            f"{len(campaign.failures)} failed slot(s))"
+        )
     return 0
 
 
-def _cmd_fig3(_args: argparse.Namespace) -> int:
+def _cmd_fig3(args: argparse.Namespace) -> int:
     from repro.experiments import fig3_queue
 
-    fig3_queue.main()
+    fig3_queue.report(fig3_queue.run_fig3(policy=policy_from_args(args)))
     return 0
 
 
-def _cmd_fig4(_args: argparse.Namespace) -> int:
+def _cmd_fig4(args: argparse.Namespace) -> int:
     from repro.experiments import fig4_utility
 
-    fig4_utility.main()
+    fig4_utility.report(fig4_utility.run_fig4(policy=policy_from_args(args)))
     return 0
 
 
 def _cmd_fig5(args: argparse.Namespace) -> int:
     from repro.experiments import fig5_adaptation
 
-    fig5_adaptation.main(smoke=args.smoke)
+    fig5_adaptation.main(smoke=args.smoke, policy=policy_from_args(args))
     return 0
 
 
@@ -95,10 +102,14 @@ def _cmd_coding_speed(_args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_convergence(_args: argparse.Namespace) -> int:
+def _cmd_convergence(args: argparse.Namespace) -> int:
     from repro.experiments import convergence_stats
 
-    convergence_stats.main()
+    convergence_stats.report(
+        convergence_stats.run_convergence_stats(
+            policy=policy_from_args(args)
+        )
+    )
     return 0
 
 
@@ -242,22 +253,30 @@ def build_parser() -> argparse.ArgumentParser:
     fig2 = sub.add_parser("fig2", help="Fig. 2: throughput gains")
     fig2.add_argument("--quality", choices=("lossy", "high"), default="lossy")
     fig2.add_argument("--sessions", type=int, default=10)
+    add_execution_arguments(fig2)
     fig2.set_defaults(func=_cmd_fig2)
-    sub.add_parser("fig3", help="Fig. 3: queue sizes").set_defaults(func=_cmd_fig3)
-    sub.add_parser("fig4", help="Fig. 4: utility ratios").set_defaults(func=_cmd_fig4)
+    fig3 = sub.add_parser("fig3", help="Fig. 3: queue sizes")
+    add_execution_arguments(fig3)
+    fig3.set_defaults(func=_cmd_fig3)
+    fig4 = sub.add_parser("fig4", help="Fig. 4: utility ratios")
+    add_execution_arguments(fig4)
+    fig4.set_defaults(func=_cmd_fig4)
     fig5 = sub.add_parser(
         "fig5", help="Fig. 5 (extension): re-planning under drift/failure"
     )
     fig5.add_argument(
         "--smoke", action="store_true", help="CI-sized run (~1 s)"
     )
+    add_execution_arguments(fig5)
     fig5.set_defaults(func=_cmd_fig5)
     sub.add_parser(
         "coding-speed", help="accelerated vs baseline codec"
     ).set_defaults(func=_cmd_coding_speed)
-    sub.add_parser(
+    convergence = sub.add_parser(
         "convergence", help="iteration statistics vs the paper's 91"
-    ).set_defaults(func=_cmd_convergence)
+    )
+    add_execution_arguments(convergence)
+    convergence.set_defaults(func=_cmd_convergence)
 
     topology = sub.add_parser("topology", help="generate and save a topology")
     topology.add_argument("output")

@@ -1,0 +1,99 @@
+"""Content-addressed on-disk result cache.
+
+Results are stored one file per job under ``<root>/<key[:2]>/<key>.pkl``
+— the two-character fan-out keeps directories small at paper scale
+(300+ sessions per campaign, many campaigns per sweep).  Writes are
+atomic (temp file + ``os.replace``), so a campaign killed mid-write
+never leaves a truncated entry behind: the next run sees either a
+complete result or a miss.
+
+Because keys are *content* hashes of the job payload (see
+:func:`repro.exec.job.stable_hash`), resume-after-interruption and
+incremental re-runs fall out for free: re-submitting the same campaign
+skips every job already on disk, and changing one sweep knob only
+invalidates the jobs whose payload actually changed.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Iterator, Tuple, Union
+
+__all__ = ["CACHE_SCHEMA", "ResultCache"]
+
+#: Bump when the stored document shape (or the meaning of cached values)
+#: changes; mismatched entries read as misses and are overwritten.
+CACHE_SCHEMA = 1
+
+
+class ResultCache:
+    """Pickle-backed store mapping job keys to result values."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self._root = Path(root)
+        self._root.mkdir(parents=True, exist_ok=True)
+
+    @property
+    def root(self) -> Path:
+        """The cache directory."""
+        return self._root
+
+    def path_for(self, key: str) -> Path:
+        """Where the entry for ``key`` lives (existing or not)."""
+        if not key or any(ch in key for ch in "/\\"):
+            raise ValueError(f"invalid cache key {key!r}")
+        return self._root / key[:2] / f"{key}.pkl"
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(True, value)`` on a hit, ``(False, None)`` on a miss.
+
+        Corrupt or schema-mismatched entries count as misses (and
+        corrupt files are removed so the slot heals on the next put).
+        """
+        path = self.path_for(key)
+        try:
+            blob = path.read_bytes()
+        except OSError:
+            return False, None
+        try:
+            document = pickle.loads(blob)
+        except Exception:
+            path.unlink(missing_ok=True)
+            return False, None
+        if (
+            not isinstance(document, dict)
+            or document.get("schema") != CACHE_SCHEMA
+            or document.get("key") != key
+        ):
+            return False, None
+        return True, document.get("value")
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under ``key`` atomically."""
+        path = self.path_for(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        document = {"schema": CACHE_SCHEMA, "key": key, "value": value}
+        temporary = path.parent / f".{key}.{os.getpid()}.tmp"
+        temporary.write_bytes(pickle.dumps(document, protocol=4))
+        os.replace(temporary, path)
+
+    def __contains__(self, key: str) -> bool:
+        return self.path_for(key).exists()
+
+    def keys(self) -> Iterator[str]:
+        """All stored job keys (arbitrary order)."""
+        for entry in sorted(self._root.glob("*/*.pkl")):
+            yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Drop every entry; returns how many were removed."""
+        removed = 0
+        for entry in sorted(self._root.glob("*/*.pkl")):
+            entry.unlink(missing_ok=True)
+            removed += 1
+        return removed

@@ -1,0 +1,397 @@
+"""Crash-isolated worker pool with per-job timeouts and bounded retry.
+
+``multiprocessing.Pool`` cannot kill a hung task or survive a worker
+that dies mid-job, so the pool here is built directly on processes and
+pipes: the parent assigns one job to one worker at a time and therefore
+always knows which job a dead or overdue worker was holding.  That is
+what turns the three failure modes into recorded outcomes instead of a
+dead campaign:
+
+* a job that **raises** reports the exception back and the worker keeps
+  going — deterministic failures are never retried;
+* a job that **exceeds the timeout** gets its worker terminated and
+  replaced; the job is retried up to the retry budget, then recorded as
+  a ``timeout`` failure;
+* a worker that **crashes** (segfault, ``os._exit``, OOM-kill) is
+  detected by pipe hangup and replaced the same way, with the job it
+  held retried, then recorded as a ``crash`` failure.
+
+Scheduling order never leaks into results: outcomes are keyed by
+submission index and returned in submission order, and jobs carry their
+own RNG derivations, so a pool run is bit-identical to a serial loop.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from collections import deque
+from dataclasses import dataclass
+from multiprocessing.connection import Connection, wait as _wait_connections
+from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro.exec.job import JobFailure, JobOutcome, JobResult, JobSpec
+
+__all__ = ["WorkerPool", "run_serial"]
+
+#: Poll granularity (seconds) when no per-job timeout bounds the wait.
+_IDLE_TICK = 1.0
+#: Grace period for process joins during shutdown/replacement.
+_JOIN_GRACE = 5.0
+
+OutcomeCallback = Callable[[JobSpec, JobOutcome], None]
+
+
+def _worker_main(conn: Connection) -> None:
+    """Worker loop: receive ``(index, fn, payload)``, send outcomes.
+
+    Runs until the parent sends ``None`` or the pipe closes.  Exceptions
+    from the job are reported as data; ``SystemExit``/``os._exit`` and
+    real crashes surface to the parent as a pipe hangup.
+    """
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        index, fn, payload = message
+        try:
+            value = fn(payload)
+        except Exception as error:
+            conn.send(
+                (
+                    index,
+                    "error",
+                    (type(error).__name__, str(error), traceback.format_exc()),
+                )
+            )
+        else:
+            conn.send((index, "ok", value))
+    conn.close()
+
+
+def run_serial(
+    specs: Sequence[JobSpec],
+    *,
+    on_outcome: Optional[OutcomeCallback] = None,
+) -> List[JobOutcome]:
+    """Execute ``specs`` in-process, in order — the ``jobs=1`` path.
+
+    Semantically identical to a one-worker pool minus process isolation:
+    exceptions become ``exception`` failures, but timeouts and crash
+    containment need real worker processes.
+    """
+    outcomes: List[JobOutcome] = []
+    for spec in specs:
+        started = time.perf_counter()
+        try:
+            value = spec.fn(spec.payload)
+        except Exception as error:
+            outcome: JobOutcome = JobFailure(
+                key=spec.key,
+                kind="exception",
+                error=type(error).__name__,
+                message=str(error),
+                traceback=traceback.format_exc(),
+                attempts=1,
+            )
+        else:
+            outcome = JobResult(
+                key=spec.key,
+                value=value,
+                attempts=1,
+                wall_seconds=time.perf_counter() - started,
+            )
+        outcomes.append(outcome)
+        if on_outcome is not None:
+            on_outcome(spec, outcome)
+    return outcomes
+
+
+@dataclass
+class _Worker:
+    """One worker process and the job (if any) it currently holds."""
+
+    process: Any  # multiprocessing.Process (context-specific class)
+    conn: Connection
+    index: Optional[int] = None  # submission index of the assigned job
+    attempt: int = 0
+    started: float = 0.0  # monotonic assignment time
+
+    @property
+    def busy(self) -> bool:
+        return self.index is not None
+
+
+class WorkerPool:
+    """Fixed-size process pool executing :class:`JobSpec` batches."""
+
+    def __init__(
+        self,
+        workers: int,
+        *,
+        job_timeout: Optional[float] = None,
+        retries: int = 1,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if workers < 1:
+            raise ValueError(f"workers must be >= 1, got {workers}")
+        if job_timeout is not None and job_timeout <= 0:
+            raise ValueError(f"job_timeout must be > 0, got {job_timeout}")
+        if retries < 0:
+            raise ValueError(f"retries must be >= 0, got {retries}")
+        if start_method is None:
+            # fork is dramatically cheaper when available (no re-import of
+            # numpy/scipy per worker); spawn is the portable fallback.
+            methods = multiprocessing.get_all_start_methods()
+            start_method = "fork" if "fork" in methods else "spawn"
+        self._workers = workers
+        self._job_timeout = job_timeout
+        self._retries = retries
+        self._ctx = multiprocessing.get_context(start_method)
+
+    @property
+    def workers(self) -> int:
+        """Configured worker count."""
+        return self._workers
+
+    def run(
+        self,
+        jobs: Sequence[JobSpec],
+        *,
+        on_outcome: Optional[OutcomeCallback] = None,
+    ) -> List[JobOutcome]:
+        """Execute every job; outcomes in submission order.
+
+        ``on_outcome`` fires in *completion* order (progress reporting);
+        the returned list is always in submission order regardless of
+        scheduling.
+        """
+        specs = list(jobs)
+        if not specs:
+            return []
+        outcomes: Dict[int, JobOutcome] = {}
+        # (submission index, attempt number) — attempt counts from 1.
+        pending: Deque[Tuple[int, int]] = deque(
+            (index, 1) for index in range(len(specs))
+        )
+        crew: List[_Worker] = [
+            self._spawn() for _ in range(min(self._workers, len(specs)))
+        ]
+        try:
+            while len(outcomes) < len(specs):
+                self._assign(crew, pending, specs)
+                busy = [worker for worker in crew if worker.busy]
+                if not busy:  # pragma: no cover - defensive
+                    raise RuntimeError("pool stalled with work outstanding")
+                ready = set(
+                    _wait_connections(
+                        [worker.conn for worker in busy],
+                        self._wait_timeout(busy),
+                    )
+                )
+                for position, worker in enumerate(crew):
+                    if worker.busy and worker.conn in ready:
+                        self._collect(
+                            position, crew, specs, pending, outcomes, on_outcome
+                        )
+                self._expire_overdue(crew, specs, pending, outcomes, on_outcome)
+        finally:
+            self._shutdown(crew)
+        return [outcomes[index] for index in range(len(specs))]
+
+    # -- internals ---------------------------------------------------------
+
+    def _spawn(self) -> _Worker:
+        parent_conn, child_conn = self._ctx.Pipe()
+        process = self._ctx.Process(
+            target=_worker_main, args=(child_conn,), daemon=True
+        )
+        process.start()
+        child_conn.close()
+        return _Worker(process=process, conn=parent_conn)
+
+    def _assign(
+        self,
+        crew: List[_Worker],
+        pending: Deque[Tuple[int, int]],
+        specs: List[JobSpec],
+    ) -> None:
+        for worker in crew:
+            if not pending:
+                break
+            if worker.busy:
+                continue
+            index, attempt = pending.popleft()
+            spec = specs[index]
+            worker.index = index
+            worker.attempt = attempt
+            worker.started = time.monotonic()
+            worker.conn.send((index, spec.fn, spec.payload))
+
+    def _wait_timeout(self, busy: Sequence[_Worker]) -> float:
+        if self._job_timeout is None:
+            return _IDLE_TICK
+        now = time.monotonic()
+        remaining = min(
+            worker.started + self._job_timeout - now for worker in busy
+        )
+        return max(min(remaining, _IDLE_TICK), 0.01)
+
+    def _collect(
+        self,
+        position: int,
+        crew: List[_Worker],
+        specs: List[JobSpec],
+        pending: Deque[Tuple[int, int]],
+        outcomes: Dict[int, JobOutcome],
+        on_outcome: Optional[OutcomeCallback],
+    ) -> None:
+        worker = crew[position]
+        assert worker.index is not None
+        index, attempt = worker.index, worker.attempt
+        spec = specs[index]
+        try:
+            reported_index, status, data = worker.conn.recv()
+        except (EOFError, OSError):
+            # The worker died under this job: replace it, retry the job.
+            self._dispose(worker)
+            crew[position] = self._spawn()
+            self._record_attempt_failure(
+                spec,
+                index,
+                attempt,
+                kind="crash",
+                message=(
+                    f"worker process died (exit code "
+                    f"{worker.process.exitcode}) while running the job"
+                ),
+                pending=pending,
+                outcomes=outcomes,
+                on_outcome=on_outcome,
+            )
+            return
+        assert reported_index == index
+        elapsed = time.monotonic() - worker.started
+        worker.index = None
+        if status == "ok":
+            outcome: JobOutcome = JobResult(
+                key=spec.key,
+                value=data,
+                attempts=attempt,
+                wall_seconds=elapsed,
+            )
+        else:
+            error, message, trace = data
+            # Exceptions are deterministic given the payload: retrying
+            # would reproduce them, so they consume no retry budget.
+            outcome = JobFailure(
+                key=spec.key,
+                kind="exception",
+                error=error,
+                message=message,
+                traceback=trace,
+                attempts=attempt,
+            )
+        outcomes[index] = outcome
+        if on_outcome is not None:
+            on_outcome(spec, outcome)
+
+    def _expire_overdue(
+        self,
+        crew: List[_Worker],
+        specs: List[JobSpec],
+        pending: Deque[Tuple[int, int]],
+        outcomes: Dict[int, JobOutcome],
+        on_outcome: Optional[OutcomeCallback],
+    ) -> None:
+        if self._job_timeout is None:
+            return
+        now = time.monotonic()
+        for position, worker in enumerate(crew):
+            if not worker.busy or now - worker.started <= self._job_timeout:
+                continue
+            if worker.conn.poll(0):
+                # Finished just after the wait returned — collect, don't kill.
+                self._collect(
+                    position, crew, specs, pending, outcomes, on_outcome
+                )
+                continue
+            assert worker.index is not None
+            index, attempt = worker.index, worker.attempt
+            self._dispose(worker)
+            crew[position] = self._spawn()
+            self._record_attempt_failure(
+                specs[index],
+                index,
+                attempt,
+                kind="timeout",
+                message=(
+                    f"job exceeded the per-job timeout of "
+                    f"{self._job_timeout:g}s (attempt {attempt})"
+                ),
+                pending=pending,
+                outcomes=outcomes,
+                on_outcome=on_outcome,
+            )
+
+    def _record_attempt_failure(
+        self,
+        spec: JobSpec,
+        index: int,
+        attempt: int,
+        *,
+        kind: str,
+        message: str,
+        pending: Deque[Tuple[int, int]],
+        outcomes: Dict[int, JobOutcome],
+        on_outcome: Optional[OutcomeCallback],
+    ) -> None:
+        """Retry a crashed/overdue job, or record its final failure."""
+        if attempt <= self._retries:
+            pending.appendleft((index, attempt + 1))
+            return
+        outcome = JobFailure(
+            key=spec.key,
+            kind=kind,
+            error=kind,
+            message=message,
+            traceback="",
+            attempts=attempt,
+        )
+        outcomes[index] = outcome
+        if on_outcome is not None:
+            on_outcome(spec, outcome)
+
+    def _dispose(self, worker: _Worker) -> None:
+        """Forcefully stop one worker and release its pipe."""
+        if worker.process.is_alive():
+            worker.process.terminate()
+        worker.process.join(_JOIN_GRACE)
+        if worker.process.is_alive():  # pragma: no cover - hard stragglers
+            worker.process.kill()
+            worker.process.join(_JOIN_GRACE)
+        worker.conn.close()
+
+    def _shutdown(self, crew: List[_Worker]) -> None:
+        for worker in crew:
+            if worker.process.is_alive() and not worker.busy:
+                try:
+                    worker.conn.send(None)
+                except (BrokenPipeError, OSError):
+                    pass
+        for worker in crew:
+            worker.process.join(0.5 if worker.busy else _JOIN_GRACE)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(_JOIN_GRACE)
+            if worker.process.is_alive():  # pragma: no cover
+                worker.process.kill()
+                worker.process.join(_JOIN_GRACE)
+            try:
+                worker.conn.close()
+            except OSError:  # pragma: no cover
+                pass

@@ -6,19 +6,32 @@ constraint, and all four protocols run on identical sessions.  The
 figure-specific experiment modules consume :class:`CampaignResult` and
 derive their own metrics.
 
+Campaigns execute on the :mod:`repro.exec` engine: each session is one
+content-hashed job carrying its own RNG derivation (see
+:func:`session_rng`), so an :class:`~repro.exec.ExecutionPolicy` with
+any worker count — and any scheduling order — reproduces the serial
+result bit for bit.  A failed session becomes a recorded
+:class:`CampaignFailure` instead of aborting the run, and a result
+cache makes interrupted paper-scale sweeps resumable.
+
 Paper-scale parameters (300 nodes, 300 sessions, 800 s) are supported
-but take hours in pure Python; the default *scale* runs a reduced
-campaign with the same shape.  Set ``OMNC_FULL_SCALE=1`` or pass
-``scale="paper"`` to run the full thing.
+but take hours serially; the default *scale* runs a reduced campaign
+with the same shape.  Set ``OMNC_FULL_SCALE=1`` or pass
+``scale="paper"`` to run the full thing, and ``--jobs N`` (or an
+explicit policy) to spread it over cores.
 """
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import os
 import random
 import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
+
+import numpy as np
 
 from repro import obs
 from repro.emulator.session import (
@@ -28,6 +41,13 @@ from repro.emulator.session import (
     run_unicast_session,
 )
 from repro.emulator.stats import throughput_gain, utility_ratios
+from repro.exec import (
+    ExecutionPolicy,
+    JobResult,
+    JobSpec,
+    execute_jobs,
+    stable_hash,
+)
 from repro.protocols.base import UnicastPathPlan
 from repro.protocols.etx_routing import plan_etx_route
 from repro.protocols.more import plan_more
@@ -40,6 +60,10 @@ from repro.topology.random_network import random_network
 from repro.util.rng import RngFactory
 
 PROTOCOLS = ("omnc", "more", "oldmore", "etx")
+
+#: Bump when the per-session computation changes in a way that
+#: invalidates previously cached job results (feeds the job hash).
+SESSION_JOB_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -121,6 +145,59 @@ class SessionRecord:
         return utility_ratios(self.results[protocol], forwarders)
 
 
+def _canonical(value: object) -> object:
+    """Rebuild ``value`` in an order-independent, hashable-by-pickle form.
+
+    Set iteration order is not a measured quantity — two processes can
+    build value-equal ``frozenset``s whose pickles differ byte for byte —
+    so sets and mapping items are sorted by the repr of their (already
+    canonical) elements before :meth:`CampaignResult.digest` pickles the
+    structure.  Dataclasses decompose into (class name, field items) so
+    plans and results from any process compare structurally.
+    """
+    if dataclasses.is_dataclass(value) and not isinstance(value, type):
+        return (
+            type(value).__name__,
+            tuple(
+                (spec.name, _canonical(getattr(value, spec.name)))
+                for spec in dataclasses.fields(value)
+            ),
+        )
+    if isinstance(value, dict):
+        items = [(_canonical(k), _canonical(v)) for k, v in value.items()]
+        return ("mapping", tuple(sorted(items, key=repr)))
+    if isinstance(value, (set, frozenset)):
+        return ("set", tuple(sorted((_canonical(v) for v in value), key=repr)))
+    if isinstance(value, (list, tuple)):
+        return tuple(_canonical(v) for v in value)
+    if isinstance(value, np.generic):
+        return value.item()
+    if value is None or isinstance(value, (bool, int, float, str, bytes)):
+        return value
+    raise TypeError(
+        f"cannot canonicalise {type(value).__name__} for a campaign digest"
+    )
+
+
+@dataclass(frozen=True)
+class CampaignFailure:
+    """One session slot the campaign could not complete.
+
+    ``stage`` is ``"selection"`` when no feasible endpoint pair existed
+    for the slot (the old abort-the-campaign case) and ``"session"``
+    when the session job itself failed — raised, timed out, or crashed
+    its worker.  Either way the rest of the campaign's work survives.
+    """
+
+    session_index: int
+    stage: str  # "selection" | "session"
+    source: int = -1
+    destination: int = -1
+    error: str = ""
+    message: str = ""
+    attempts: int = 0
+
+
 @dataclass
 class CampaignResult:
     """Everything a campaign measured."""
@@ -128,11 +205,32 @@ class CampaignResult:
     config: CampaignConfig
     network: WirelessNetwork
     records: List[SessionRecord] = field(default_factory=list)
+    failures: List[CampaignFailure] = field(default_factory=list)
+    cache_hits: int = 0
     wall_seconds: float = 0.0
     # Snapshot of the campaign's metrics registry (empty when collection
     # was off): emulator/mac/decoder counters aggregated over every
     # session of every protocol.
     metrics: Dict[str, dict] = field(default_factory=dict)
+
+    def digest(self) -> str:
+        """Content hash of everything the campaign *measured*.
+
+        Covers the configuration, every session record, and every
+        recorded failure — but not wall-clock time or cache accounting,
+        which legitimately differ run to run.  Equal digests mean the
+        campaigns are interchangeable; the executor tests use this to
+        prove serial and parallel execution agree bit for bit.
+        """
+        failures = [
+            (f.session_index, f.stage, f.source, f.destination, f.error)
+            for f in self.failures
+        ]
+        canonical = _canonical((self.config, self.records, failures))
+        # repr, not pickle: pickle memoises repeated objects by identity,
+        # so value-identical campaigns with different sharing patterns
+        # (serial vs unpickled-from-workers) would hash differently.
+        return hashlib.sha256(repr(canonical).encode("utf-8")).hexdigest()
 
     def gains(self, protocol: str) -> List[float]:
         """Finite throughput gains for ``protocol`` across sessions."""
@@ -183,9 +281,18 @@ def build_network(config: CampaignConfig) -> Tuple[RngFactory, WirelessNetwork]:
 
 
 def pick_sessions(
-    config: CampaignConfig, network: WirelessNetwork
+    config: CampaignConfig,
+    network: WirelessNetwork,
+    *,
+    strict: bool = True,
 ) -> List[Tuple[int, int, UnicastPathPlan]]:
-    """Draw random endpoint pairs honouring the hop-count constraint."""
+    """Draw random endpoint pairs honouring the hop-count constraint.
+
+    With ``strict`` (the default for direct callers) a shortfall raises;
+    the campaign driver passes ``strict=False`` and records the missing
+    slots as :class:`CampaignFailure` entries instead, so one degenerate
+    topology cannot discard the sessions that *are* feasible.
+    """
     # Frozen stdlib stream: migrating to a numpy generator would redraw
     # every campaign's endpoint pairs and shift all figure outputs.
     rng = random.Random(config.seed * 31 + 7)  # repro: rng-root
@@ -207,12 +314,24 @@ def pick_sessions(
         except NodeSelectionError:
             continue
         chosen.append((source, destination, etx_plan))
-    if len(chosen) < config.sessions:
+    if len(chosen) < config.sessions and strict:
         raise RuntimeError(
             f"only found {len(chosen)} feasible sessions after {attempts} draws; "
             "relax the hop-count constraint or enlarge the network"
         )
     return chosen
+
+
+def session_rng(seed: int, session_index: int) -> RngFactory:
+    """The independent per-session RNG factory of one campaign slot.
+
+    Derived from ``(campaign seed, session index)`` alone — never from a
+    stream threaded through the campaign loop — so any subset of
+    sessions can run in any order, on any worker, and draw exactly the
+    randomness the serial campaign would have given them.  This is the
+    seam that makes parallel execution bit-identical to serial.
+    """
+    return RngFactory(seed).spawn(f"session-{session_index}")
 
 
 def run_session(
@@ -224,34 +343,41 @@ def run_session(
     rng: RngFactory,
     registry: Optional[obs.MetricsRegistry] = None,
 ) -> SessionRecord:
-    """Run all four protocols on one session."""
+    """Run all four protocols on one session.
+
+    ``rng`` must be the session's *own* factory (see
+    :func:`session_rng`); each protocol spawns an independent child from
+    it, so the per-(session, protocol) streams depend only on the
+    campaign seed and the session index — never on which other sessions
+    ran, or where.
+    """
     results: Dict[str, SessionResult] = {}
     plans: Dict[str, object] = {"etx": etx_plan}
 
     results["etx"] = run_unicast_session(
         network, etx_plan, config=session_config,
-        rng=rng.spawn(f"etx-{source}-{destination}"),
+        rng=rng.spawn("etx"),
         registry=registry,
     )
     omnc_report = plan_omnc_detailed(network, source, destination)
     plans["omnc"] = omnc_report.plan
     results["omnc"] = run_coded_session(
         network, omnc_report.plan, config=session_config,
-        rng=rng.spawn(f"omnc-{source}-{destination}"),
+        rng=rng.spawn("omnc"),
         registry=registry,
     )
     more_plan = plan_more(network, source, destination)
     plans["more"] = more_plan
     results["more"] = run_coded_session(
         network, more_plan, config=session_config,
-        rng=rng.spawn(f"more-{source}-{destination}"),
+        rng=rng.spawn("more"),
         registry=registry,
     )
     oldmore_plan = plan_oldmore(network, source, destination)
     plans["oldmore"] = oldmore_plan
     results["oldmore"] = run_coded_session(
         network, oldmore_plan, config=session_config,
-        rng=rng.spawn(f"oldmore-{source}-{destination}"),
+        rng=rng.spawn("oldmore"),
         protocol_label="oldmore",
         registry=registry,
     )
@@ -265,34 +391,201 @@ def run_session(
     )
 
 
+@dataclass(frozen=True)
+class SessionJob:
+    """Picklable unit of campaign work: one session, all four protocols.
+
+    Everything a worker needs is derivable from the fields: the network
+    rebuilds deterministically from the config, the ETX plan re-derives
+    from the endpoints, and the randomness comes from
+    :func:`session_rng`.  That self-containment is what makes the job
+    executable on any worker — or satisfiable from the result cache —
+    with an identical outcome.
+    """
+
+    config: CampaignConfig
+    session_index: int
+    source: int
+    destination: int
+    collect_metrics: bool = False
+
+    def cache_key(self) -> str:
+        """Stable content hash identifying this job's result.
+
+        Only *execution-relevant* knobs participate: ``sessions`` /
+        ``min_hops`` / ``max_hops`` steer endpoint selection, not what
+        the emulator computes for a given endpoint pair, so sweeping the
+        session count re-uses every already-cached session.
+        """
+        config = self.config
+        return stable_hash(
+            {
+                "kind": "campaign-session",
+                "schema": SESSION_JOB_SCHEMA,
+                "node_count": config.node_count,
+                "quality": config.quality,
+                "seed": config.seed,
+                "session_seconds": config.session_seconds,
+                "target_generations": config.target_generations,
+                "interference": config.interference,
+                "coding_fidelity": config.coding_fidelity,
+                "session_index": self.session_index,
+                "source": self.source,
+                "destination": self.destination,
+                "collect_metrics": self.collect_metrics,
+            }
+        )
+
+
+@dataclass(frozen=True)
+class SessionJobOutput:
+    """What one session job ships back to the campaign driver."""
+
+    record: SessionRecord
+    # Rendered snapshot (with histogram samples) of the job's private
+    # registry, or None when metrics collection was off.
+    metrics: Optional[Dict[str, dict]] = None
+
+
+# Per-process memo of deployed topologies, keyed by the config fields
+# that determine them.  Worker processes run many jobs of one campaign;
+# rebuilding the network once per process instead of once per job keeps
+# the job overhead negligible.
+_NETWORK_CACHE: Dict[Tuple[int, str, int], WirelessNetwork] = {}
+
+
+def _campaign_network(config: CampaignConfig) -> WirelessNetwork:
+    key = (config.node_count, config.quality, config.seed)
+    network = _NETWORK_CACHE.get(key)
+    if network is None:
+        if len(_NETWORK_CACHE) >= 8:  # bound worker memory across sweeps
+            _NETWORK_CACHE.clear()
+        _, network = build_network(config)
+        _NETWORK_CACHE[key] = network
+    return network
+
+
+def execute_session_job(job: SessionJob) -> SessionJobOutput:
+    """Run one campaign session end to end (the worker entry point).
+
+    Module-level and self-contained by design: the execution engine
+    pickles it by reference into worker processes.  Metrics are
+    collected in a private registry and returned as a mergeable
+    snapshot, so parent-side aggregation is identical whether the job
+    ran in-process or on a worker.
+    """
+    network = _campaign_network(job.config)
+    etx_plan = plan_etx_route(network, job.source, job.destination)
+    registry = obs.MetricsRegistry(enabled=job.collect_metrics)
+    record = run_session(
+        network,
+        job.source,
+        job.destination,
+        etx_plan,
+        job.config.session_config(),
+        session_rng(job.config.seed, job.session_index),
+        registry=registry,
+    )
+    snapshot = (
+        registry.snapshot(include_samples=True) if job.collect_metrics else None
+    )
+    return SessionJobOutput(record=record, metrics=snapshot)
+
+
+def campaign_jobs(
+    config: CampaignConfig,
+    sessions: List[Tuple[int, int, UnicastPathPlan]],
+    *,
+    collect_metrics: bool = False,
+) -> List[JobSpec]:
+    """The executable job list of one campaign's selected sessions."""
+    specs: List[JobSpec] = []
+    for index, (source, destination, _etx_plan) in enumerate(sessions):
+        job = SessionJob(
+            config=config,
+            session_index=index,
+            source=source,
+            destination=destination,
+            collect_metrics=collect_metrics,
+        )
+        specs.append(
+            JobSpec(key=job.cache_key(), fn=execute_session_job, payload=job)
+        )
+    return specs
+
+
 def run_campaign(
     config: Optional[CampaignConfig] = None,
     *,
     registry: Optional[obs.MetricsRegistry] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> CampaignResult:
-    """Run the full four-protocol campaign.
+    """Run the full four-protocol campaign on the execution engine.
+
+    ``policy`` selects serial vs parallel execution, the result cache,
+    and the per-job timeout/retry budget; the default runs serially with
+    no cache — and produces exactly what any parallel policy produces.
+    Failed or infeasible sessions are recorded in
+    :attr:`CampaignResult.failures` instead of aborting the run.
 
     Pass an enabled :class:`repro.obs.MetricsRegistry` (or enable the
     global one) to aggregate emulator/decoder/MAC metrics across every
     session; the snapshot lands in :attr:`CampaignResult.metrics`.
     """
     config = config or CampaignConfig()
+    policy = policy or ExecutionPolicy()
     metrics = obs.resolve(registry)
     sessions_counter = metrics.counter(
         "campaign.sessions", "four-protocol sessions completed"
     )
+    failures_counter = metrics.counter(
+        "campaign.sessions_failed", "session slots infeasible or failed"
+    )
     started = time.time()  # repro: ignore[RPR002] campaign wall-time metric
-    rng, network = build_network(config)
-    sessions = pick_sessions(config, network)
-    session_config = config.session_config()
+    _rng, network = build_network(config)
+    sessions = pick_sessions(config, network, strict=False)
     campaign = CampaignResult(config=config, network=network)
-    for source, destination, etx_plan in sessions:
-        record = run_session(
-            network, source, destination, etx_plan, session_config, rng,
-            registry=registry,
+    for missing in range(len(sessions), config.sessions):
+        campaign.failures.append(
+            CampaignFailure(
+                session_index=missing,
+                stage="selection",
+                error="NodeSelectionError",
+                message=(
+                    "no feasible (source, destination) pair within the "
+                    "hop-count constraint; relax min/max_hops or enlarge "
+                    "the network"
+                ),
+            )
         )
-        campaign.records.append(record)
-        sessions_counter.inc()
+        failures_counter.inc()
+    specs = campaign_jobs(config, sessions, collect_metrics=metrics.enabled)
+    outcomes = execute_jobs(specs, policy, registry=registry)
+    for index, ((source, destination, _plan), outcome) in enumerate(
+        zip(sessions, outcomes)
+    ):
+        if isinstance(outcome, JobResult):
+            output: SessionJobOutput = outcome.value
+            campaign.records.append(output.record)
+            if output.metrics is not None:
+                metrics.merge_snapshot(output.metrics)
+            if outcome.cached:
+                campaign.cache_hits += 1
+            sessions_counter.inc()
+        else:
+            campaign.failures.append(
+                CampaignFailure(
+                    session_index=index,
+                    stage="session",
+                    source=source,
+                    destination=destination,
+                    error=outcome.error,
+                    message=outcome.message,
+                    attempts=outcome.attempts,
+                )
+            )
+            failures_counter.inc()
+    campaign.failures.sort(key=lambda failure: failure.session_index)
     campaign.wall_seconds = time.time() - started  # repro: ignore[RPR002]
     if metrics.enabled:
         metrics.gauge(

@@ -13,13 +13,24 @@ Run as a module::
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
-from typing import Optional
+from typing import List, Optional, Sequence, Tuple
 
 from repro import obs
 from repro.emulator.stats import DistributionSummary, summarize
+from repro.exec import (
+    ExecutionPolicy,
+    JobResult,
+    JobSpec,
+    add_execution_arguments,
+    execute_jobs,
+    policy_from_args,
+    stable_hash,
+)
 from repro.experiments.common import (
     CampaignConfig,
+    _campaign_network,
     build_network,
     pick_sessions,
 )
@@ -29,6 +40,10 @@ from repro.optimization.sunicast import solve_sunicast
 from repro.routing.node_selection import select_forwarders
 
 PAPER_MEAN_ITERATIONS = 91
+
+#: Bump when the per-session optimisation changes in a way that
+#: invalidates previously cached convergence-job results.
+CONVERGENCE_JOB_SCHEMA = 1
 
 
 @dataclass(frozen=True)
@@ -40,18 +55,97 @@ class ConvergenceStats:
     converged_fraction: float
 
 
+@dataclass(frozen=True)
+class ConvergenceJob:
+    """One session graph's rate-control run, as an executable job."""
+
+    config: CampaignConfig
+    source: int
+    destination: int
+    rate_config: Optional[RateControlConfig] = None
+
+    def cache_key(self) -> str:
+        """Stable content hash of the optimisation this job performs."""
+        config = self.config
+        return stable_hash(
+            {
+                "kind": "convergence-session",
+                "schema": CONVERGENCE_JOB_SCHEMA,
+                "node_count": config.node_count,
+                "quality": config.quality,
+                "seed": config.seed,
+                "source": self.source,
+                "destination": self.destination,
+                "rate_config": self.rate_config,
+            }
+        )
+
+
+@dataclass(frozen=True)
+class ConvergenceSample:
+    """One job's measurements; ``lp_throughput <= 0`` means skipped."""
+
+    iterations: int
+    ratio: float
+    converged: bool
+    feasible: bool
+
+
+def execute_convergence_job(job: ConvergenceJob) -> ConvergenceSample:
+    """Solve one session graph: LP bound plus distributed recovery."""
+    network = _campaign_network(job.config)
+    forwarders = select_forwarders(network, job.source, job.destination)
+    graph = session_graph_from_selection(network, forwarders)
+    lp = solve_sunicast(graph)
+    if lp.throughput <= 1e-9:
+        return ConvergenceSample(
+            iterations=0, ratio=0.0, converged=False, feasible=False
+        )
+    result = RateControlAlgorithm(graph, job.rate_config).run()
+    return ConvergenceSample(
+        iterations=result.iterations,
+        ratio=result.throughput / lp.throughput,
+        converged=result.converged,
+        feasible=True,
+    )
+
+
+def convergence_jobs(
+    config: CampaignConfig,
+    sessions: Sequence[Tuple[int, int, object]],
+    rate_config: Optional[RateControlConfig] = None,
+) -> List[JobSpec]:
+    """Executable job list for a campaign's session graphs."""
+    specs: List[JobSpec] = []
+    for source, destination, _ in sessions:
+        job = ConvergenceJob(
+            config=config,
+            source=source,
+            destination=destination,
+            rate_config=rate_config,
+        )
+        specs.append(
+            JobSpec(key=job.cache_key(), fn=execute_convergence_job, payload=job)
+        )
+    return specs
+
+
 def run_convergence_stats(
     config: Optional[CampaignConfig] = None,
     rate_config: Optional[RateControlConfig] = None,
     *,
     registry: Optional[obs.MetricsRegistry] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> ConvergenceStats:
     """Run rate control on every campaign session graph.
 
-    Per-session bookkeeping lives in an observability registry (a
-    private enabled one unless the caller supplies their own), so the
-    same numbers are available both as the returned summary and as
-    ``optimizer.session_*`` metrics.
+    Sessions execute as independent jobs on the :mod:`repro.exec`
+    engine (the optimisation is deterministic per endpoint pair, so any
+    worker count reproduces the serial numbers).  Per-session
+    bookkeeping lives in an observability registry (a private enabled
+    one unless the caller supplies their own), so the same numbers are
+    available both as the returned summary and as ``optimizer.session_*``
+    metrics.
     """
     if config is None:
         config = CampaignConfig.from_environment(quality="lossy")
@@ -70,16 +164,17 @@ def run_convergence_stats(
     )
     _, network = build_network(config)
     sessions = pick_sessions(config, network)
-    for source, destination, _ in sessions:
-        forwarders = select_forwarders(network, source, destination)
-        graph = session_graph_from_selection(network, forwarders)
-        lp = solve_sunicast(graph)
-        if lp.throughput <= 1e-9:
+    specs = convergence_jobs(config, sessions, rate_config)
+    outcomes = execute_jobs(specs, policy, registry=registry)
+    for outcome in outcomes:
+        if not isinstance(outcome, JobResult):
+            continue  # recorded by the engine; the summary skips the slot
+        sample: ConvergenceSample = outcome.value
+        if not sample.feasible:
             continue
-        result = RateControlAlgorithm(graph, rate_config, registry=registry).run()
-        iterations.observe(float(result.iterations))
-        lp_ratio.observe(result.throughput / lp.throughput)
-        if result.converged:
+        iterations.observe(float(sample.iterations))
+        lp_ratio.observe(sample.ratio)
+        if sample.converged:
             converged_counter.inc()
     total = iterations.count
     return ConvergenceStats(
@@ -89,8 +184,8 @@ def run_convergence_stats(
     )
 
 
-def main() -> None:
-    stats = run_convergence_stats()
+def report(stats: ConvergenceStats) -> None:
+    """Print the convergence summary table."""
     print("Distributed rate control — convergence statistics")
     print(
         f"  iterations: mean {stats.iterations.mean:.0f} "
@@ -103,6 +198,13 @@ def main() -> None:
         f"min {stats.lp_ratio.minimum:.3f}, max {stats.lp_ratio.maximum:.3f}"
     )
     print(f"  sessions converged before cap: {stats.converged_fraction:.0%}")
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_execution_arguments(parser)
+    args = parser.parse_args(argv)
+    report(run_convergence_stats(policy=policy_from_args(args)))
 
 
 if __name__ == "__main__":

@@ -21,6 +21,11 @@ from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro.emulator.stats import DistributionSummary, ascii_cdf, summarize
+from repro.exec import (
+    ExecutionPolicy,
+    add_execution_arguments,
+    policy_from_args,
+)
 from repro.experiments.common import (
     CampaignConfig,
     CampaignResult,
@@ -49,12 +54,15 @@ class Fig2Result:
 
 
 def run_fig2(
-    quality: str = "lossy", config: Optional[CampaignConfig] = None
+    quality: str = "lossy",
+    config: Optional[CampaignConfig] = None,
+    *,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Fig2Result:
     """Run the Fig. 2 campaign for one quality regime."""
     if config is None:
         config = CampaignConfig.from_environment(quality=quality)
-    campaign = run_campaign(config)
+    campaign = run_campaign(config, policy=policy)
     distributions = {
         protocol: summarize(campaign.gains(protocol))
         for protocol in CODED_PROTOCOLS
@@ -64,7 +72,7 @@ def run_fig2(
     )
 
 
-def main() -> None:
+def main(argv: Optional[list] = None) -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
         "--quality", choices=("lossy", "high"), default="lossy",
@@ -72,7 +80,8 @@ def main() -> None:
     )
     parser.add_argument("--sessions", type=int, default=None)
     parser.add_argument("--nodes", type=int, default=None)
-    args = parser.parse_args()
+    add_execution_arguments(parser)
+    args = parser.parse_args(argv)
 
     overrides = {"quality": args.quality}
     if args.sessions is not None:
@@ -80,7 +89,7 @@ def main() -> None:
     if args.nodes is not None:
         overrides["node_count"] = args.nodes
     config = CampaignConfig.from_environment(**overrides)
-    result = run_fig2(args.quality, config)
+    result = run_fig2(args.quality, config, policy=policy_from_args(args))
 
     print(f"Figure 2 ({args.quality}) — throughput gain over ETX routing")
     print(

@@ -13,10 +13,16 @@ Run as a module::
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.emulator.stats import DistributionSummary, ascii_cdf, summarize
+from repro.exec import (
+    ExecutionPolicy,
+    add_execution_arguments,
+    policy_from_args,
+)
 from repro.experiments.common import (
     CampaignConfig,
     CampaignResult,
@@ -40,11 +46,15 @@ class Fig3Result:
         return self.distributions[protocol].mean
 
 
-def run_fig3(config: Optional[CampaignConfig] = None) -> Fig3Result:
+def run_fig3(
+    config: Optional[CampaignConfig] = None,
+    *,
+    policy: Optional[ExecutionPolicy] = None,
+) -> Fig3Result:
     """Run the Fig. 3 queue campaign (lossy network)."""
     if config is None:
         config = CampaignConfig.from_environment(quality="lossy")
-    campaign = run_campaign(config)
+    campaign = run_campaign(config, policy=policy)
     distributions = {
         protocol: summarize(campaign.per_node_queues(protocol))
         for protocol in QUEUE_PROTOCOLS
@@ -52,8 +62,8 @@ def run_fig3(config: Optional[CampaignConfig] = None) -> Fig3Result:
     return Fig3Result(distributions=distributions, campaign=campaign)
 
 
-def main() -> None:
-    result = run_fig3()
+def report(result: Fig3Result) -> None:
+    """Print the Fig. 3 summary and CDFs."""
     print("Figure 3 — per-node time-averaged queue size (lossy network)")
     for protocol in QUEUE_PROTOCOLS:
         summary = result.distributions[protocol]
@@ -67,6 +77,13 @@ def main() -> None:
     for protocol in QUEUE_PROTOCOLS:
         print()
         print(ascii_cdf(result.distributions[protocol], label=f"{protocol} queue CDF"))
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_execution_arguments(parser)
+    args = parser.parse_args(argv)
+    report(run_fig3(policy=policy_from_args(args)))
 
 
 if __name__ == "__main__":

@@ -13,10 +13,16 @@ Run as a module::
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.emulator.stats import DistributionSummary, ascii_cdf, summarize
+from repro.exec import (
+    ExecutionPolicy,
+    add_execution_arguments,
+    policy_from_args,
+)
 from repro.experiments.common import (
     CampaignConfig,
     CampaignResult,
@@ -35,11 +41,15 @@ class Fig4Result:
     campaign: CampaignResult
 
 
-def run_fig4(config: Optional[CampaignConfig] = None) -> Fig4Result:
+def run_fig4(
+    config: Optional[CampaignConfig] = None,
+    *,
+    policy: Optional[ExecutionPolicy] = None,
+) -> Fig4Result:
     """Run the Fig. 4 utility campaign (lossy network)."""
     if config is None:
         config = CampaignConfig.from_environment(quality="lossy")
-    campaign = run_campaign(config)
+    campaign = run_campaign(config, policy=policy)
     node_utility: Dict[str, DistributionSummary] = {}
     path_utility: Dict[str, DistributionSummary] = {}
     for protocol in UTILITY_PROTOCOLS:
@@ -53,8 +63,8 @@ def run_fig4(config: Optional[CampaignConfig] = None) -> Fig4Result:
     )
 
 
-def main() -> None:
-    result = run_fig4()
+def report(result: Fig4Result) -> None:
+    """Print the Fig. 4 summary and CDFs."""
     print("Figure 4 — node and path utility ratios (lossy network)")
     print(f"{'protocol':10s} {'node util':>10s} {'path util':>10s}")
     for protocol in UTILITY_PROTOCOLS:
@@ -70,6 +80,13 @@ def main() -> None:
                 label=f"{protocol} node-utility CDF",
             )
         )
+
+
+def main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    add_execution_arguments(parser)
+    args = parser.parse_args(argv)
+    report(run_fig4(policy=policy_from_args(args)))
 
 
 if __name__ == "__main__":

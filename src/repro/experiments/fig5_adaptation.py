@@ -24,11 +24,21 @@ it.  Run as a module to print the comparison::
 
 from __future__ import annotations
 
+import argparse
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro import obs
 from repro.emulator.session import SessionConfig
+from repro.exec import (
+    ExecutionPolicy,
+    JobResult,
+    JobSpec,
+    add_execution_arguments,
+    execute_jobs,
+    policy_from_args,
+    stable_hash,
+)
 from repro.protocols.adaptive import make_planner
 from repro.protocols.more import plan_more
 from repro.protocols.omnc import plan_omnc
@@ -150,44 +160,109 @@ def build_scenario(
     return spec, busiest
 
 
+#: Bump when the adaptive-session computation changes in a way that
+#: invalidates previously cached Fig. 5 job results.
+FIG5_JOB_SCHEMA = 1
+
+_POLICY_KEYS = ("oblivious", "periodic", "drift")
+
+
+def _fig5_network(config: Fig5Config) -> WirelessNetwork:
+    """The experiment topology — a pure function of the config."""
+    rng = RngFactory(config.seed)
+    return random_network(
+        config.node_count,
+        phy=lossy_phy(rng=rng.derive("phy")),
+        rng=rng.derive("topology"),
+    )
+
+
+def _policy_spec(config: Fig5Config, key: str) -> str:
+    specs = {
+        "oblivious": "oblivious",
+        "periodic": f"periodic:{config.periodic_every}",
+        "drift": f"drift:{config.drift_threshold:g}",
+    }
+    return specs[key]
+
+
+@dataclass(frozen=True)
+class Fig5Job:
+    """One controller's run on the failover scenario, as a job.
+
+    The network, endpoints and scenario re-derive deterministically from
+    the config, so the job is self-contained: the three policies can run
+    on different workers and still face bit-identical randomness.
+    """
+
+    config: Fig5Config
+    policy_key: str  # "oblivious" | "periodic" | "drift"
+
+    def cache_key(self) -> str:
+        """Stable content hash of this controller run."""
+        return stable_hash(
+            {
+                "kind": "fig5-adaptation",
+                "schema": FIG5_JOB_SCHEMA,
+                "config": self.config,
+                "policy_key": self.policy_key,
+            }
+        )
+
+
+def execute_fig5_job(job: Fig5Job) -> AdaptiveSessionResult:
+    """Run one re-planning policy on the failover scenario."""
+    config = job.config
+    network = _fig5_network(config)
+    source, destination = _feasible_pair(network, config.min_forwarders)
+    spec, _busiest = build_scenario(network, source, destination, config)
+    planner = make_planner(config.protocol, source, destination)
+    return run_adaptive_session(
+        network,
+        planner,
+        make_policy(_policy_spec(config, job.policy_key)),
+        spec,
+        config=SessionConfig(max_seconds=config.duration),
+        rng=RngFactory(config.session_seed),
+    )
+
+
 def run_fig5(
     config: Optional[Fig5Config] = None,
     *,
     registry: Optional[obs.MetricsRegistry] = None,
+    policy: Optional[ExecutionPolicy] = None,
 ) -> Fig5Result:
     """Run the three controllers on the failover scenario.
 
     Every run uses an identically-seeded RNG factory, so the three
     sessions face bit-identical channel and scheduler randomness — the
-    only difference is the re-planning policy.
+    only difference is the re-planning policy.  The runs are submitted
+    as independent jobs, so ``policy`` can spread them over workers or
+    satisfy them from the result cache; a job failure surfaces as a
+    ``RuntimeError`` because the comparison needs all three controllers.
     """
     config = config or Fig5Config()
-    rng = RngFactory(config.seed)
-    network = random_network(
-        config.node_count,
-        phy=lossy_phy(rng=rng.derive("phy")),
-        rng=rng.derive("topology"),
-    )
+    network = _fig5_network(config)
     source, destination = _feasible_pair(network, config.min_forwarders)
     spec, busiest = build_scenario(network, source, destination, config)
-    session_config = SessionConfig(max_seconds=config.duration)
-    policies = {
-        "oblivious": "oblivious",
-        "periodic": f"periodic:{config.periodic_every}",
-        "drift": f"drift:{config.drift_threshold:g}",
-    }
-    runs: Dict[str, AdaptiveSessionResult] = {}
-    for key, policy_spec in policies.items():
-        planner = make_planner(config.protocol, source, destination)
-        runs[key] = run_adaptive_session(
-            network,
-            planner,
-            make_policy(policy_spec),
-            spec,
-            config=session_config,
-            rng=RngFactory(config.session_seed),
-            registry=registry,
+    jobs = [
+        JobSpec(
+            key=Fig5Job(config=config, policy_key=key).cache_key(),
+            fn=execute_fig5_job,
+            payload=Fig5Job(config=config, policy_key=key),
         )
+        for key in _POLICY_KEYS
+    ]
+    outcomes = execute_jobs(jobs, policy, registry=registry)
+    runs: Dict[str, AdaptiveSessionResult] = {}
+    for key, outcome in zip(_POLICY_KEYS, outcomes):
+        if not isinstance(outcome, JobResult):
+            raise RuntimeError(
+                f"fig5 {key} controller failed: {outcome.error}: "
+                f"{outcome.message}"
+            )
+        runs[key] = outcome.value
     return Fig5Result(
         config=config,
         scenario=spec,
@@ -199,10 +274,12 @@ def run_fig5(
     )
 
 
-def main(smoke: bool = False) -> None:
+def main(
+    smoke: bool = False, policy: Optional[ExecutionPolicy] = None
+) -> None:
     """Print the adaptation comparison table."""
     config = Fig5Config.smoke() if smoke else Fig5Config()
-    result = run_fig5(config)
+    result = run_fig5(config, policy=policy)
     print("Figure 5 — mid-run re-planning under drift and node failure")
     print(
         f"{config.protocol} session {result.source} -> {result.destination}, "
@@ -232,7 +309,13 @@ def main(smoke: bool = False) -> None:
         )
 
 
-if __name__ == "__main__":
-    import sys
+def _module_main(argv: Optional[List[str]] = None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--smoke", action="store_true", help="CI-sized run")
+    add_execution_arguments(parser)
+    args = parser.parse_args(argv)
+    main(smoke=args.smoke, policy=policy_from_args(args))
 
-    main(smoke="--smoke" in sys.argv[1:])
+
+if __name__ == "__main__":
+    _module_main()

@@ -183,11 +183,37 @@ class Histogram(Instrument):
             self._min = value
         if value > self._max:
             self._max = value
+        self._store(value)
+
+    def _store(self, value: float) -> None:
+        """Place one value in the reservoir without touching the totals."""
         if len(self._samples) < self._max_samples:
             self._samples.append(value)
         else:
             self._samples[self._next] = value
             self._next = (self._next + 1) % self._max_samples
+
+    def absorb(self, record: dict) -> None:
+        """Fold a rendered histogram dict (see :meth:`as_dict`) into this one.
+
+        Exact for ``count`` / ``sum`` / ``min`` / ``max``; the record's
+        retained ``samples`` (present when the snapshot was taken with
+        ``include_samples=True``) join this reservoir, so percentiles of
+        the merged histogram cover both sides' retained windows.  This
+        is how per-worker registries from parallel campaign jobs fold
+        back into the parent registry.
+        """
+        count = int(record.get("count", 0))
+        if count <= 0:
+            return
+        self._count += count
+        self._sum += float(record.get("sum", 0.0))
+        if "min" in record and float(record["min"]) < self._min:
+            self._min = float(record["min"])
+        if "max" in record and float(record["max"]) > self._max:
+            self._max = float(record["max"])
+        for value in record.get("samples", ()):
+            self._store(float(value))
 
     def samples(self) -> List[float]:
         """Copy of the retained reservoir (arbitrary order)."""
@@ -210,7 +236,7 @@ class Histogram(Instrument):
         fraction = rank - low
         return ordered[low] * (1.0 - fraction) + ordered[high] * fraction
 
-    def as_dict(self) -> dict:
+    def as_dict(self, *, include_samples: bool = False) -> dict:
         record = {
             "kind": self.kind,
             "count": self._count,
@@ -223,6 +249,8 @@ class Histogram(Instrument):
             record["p50"] = self.percentile(50)
             record["p90"] = self.percentile(90)
             record["p99"] = self.percentile(99)
+            if include_samples:
+                record["samples"] = list(self._samples)
         return record
 
 
@@ -367,13 +395,46 @@ class MetricsRegistry:
             del self._instruments[name]
         return len(doomed)
 
-    def snapshot(self, prefix: Optional[str] = None) -> Dict[str, dict]:
-        """All (or ``prefix``-selected) instruments rendered to plain dicts."""
+    def snapshot(
+        self, prefix: Optional[str] = None, *, include_samples: bool = False
+    ) -> Dict[str, dict]:
+        """All (or ``prefix``-selected) instruments rendered to plain dicts.
+
+        ``include_samples`` adds each histogram's retained reservoir to
+        its dict, making the snapshot losslessly mergeable with
+        :meth:`merge_snapshot` — the form campaign worker processes ship
+        back to the parent.
+        """
         return {
-            name: instrument.as_dict()
+            name: (
+                instrument.as_dict(include_samples=True)
+                if include_samples and isinstance(instrument, Histogram)
+                else instrument.as_dict()
+            )
             for name, instrument in sorted(self._instruments.items())
             if prefix is None or name.startswith(prefix)
         }
+
+    def merge_snapshot(self, snapshot: Dict[str, dict]) -> None:
+        """Fold another registry's rendered snapshot into this one.
+
+        Counters add, gauges keep the incoming value (last-merge wins),
+        histograms absorb totals and retained samples (see
+        :meth:`Histogram.absorb`).  Merging is deterministic: iterate
+        snapshots in a fixed order (the campaign driver merges in
+        session-index order) and the result is independent of how the
+        work was scheduled.  No-op on a disabled registry.
+        """
+        if not self._enabled:
+            return
+        for name, record in sorted(snapshot.items()):
+            kind = record.get("kind")
+            if kind == "counter":
+                self.counter(name).inc(float(record.get("value", 0.0)))
+            elif kind == "gauge":
+                self.gauge(name).set(float(record.get("value", 0.0)))
+            elif kind == "histogram":
+                self.histogram(name).absorb(record)
 
     def to_json(self, path: Union[str, Path]) -> None:
         """Write :meth:`snapshot` as pretty-printed JSON."""

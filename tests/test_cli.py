@@ -57,6 +57,52 @@ class TestParser:
         assert args.epoch_seconds == 5.0
 
 
+class TestExecutionFlags:
+    def test_campaign_commands_expose_execution_flags(self):
+        parser = build_parser()
+        for command in ("fig2", "fig3", "fig4", "fig5", "convergence"):
+            args = parser.parse_args([command, "--jobs", "4"])
+            assert args.jobs == 4
+            assert args.cache_dir is None
+            assert args.resume is False
+            assert args.fresh is False
+            assert args.job_timeout is None
+            assert args.job_retries == 1
+
+    def test_policy_from_args_maps_flags(self):
+        from repro.exec import DEFAULT_CACHE_DIR, policy_from_args
+
+        args = build_parser().parse_args(
+            [
+                "fig2", "--jobs", "3",
+                "--cache-dir", "/tmp/c",
+                "--job-timeout", "5",
+                "--job-retries", "2",
+            ]
+        )
+        policy = policy_from_args(args)
+        assert policy.jobs == 3
+        assert policy.cache_dir == "/tmp/c"
+        assert policy.resume is True
+        assert policy.job_timeout == 5.0
+        assert policy.retries == 2
+
+        resumed = policy_from_args(build_parser().parse_args(["fig3", "--resume"]))
+        assert resumed.cache_dir == DEFAULT_CACHE_DIR
+
+        fresh = policy_from_args(
+            build_parser().parse_args(["fig4", "--cache-dir", "/tmp/c", "--fresh"])
+        )
+        assert fresh.resume is False
+        assert fresh.cache_dir == "/tmp/c"
+
+    def test_fig2_parallel_run(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        code = main(["fig2", "--sessions", "2", "--jobs", "2"])
+        assert code == 0
+        assert "mean throughput gain" in capsys.readouterr().out
+
+
 class TestCommands:
     def test_topology_generation(self, tmp_path, capsys):
         path = tmp_path / "net.json"

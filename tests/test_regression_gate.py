@@ -82,6 +82,7 @@ def test_collect_marks_only_interpreter_bound_probes_advisory():
     )["modes"]["quick"]
     advisory = {n for n, r in quick["metrics"].items() if r.get("advisory")}
     assert advisory == {
+        "campaign_parallel_speedup",
         "emulator_kslots_per_sec",
         "emulator_slot_loop",
         "optimizer_iters_per_sec",
@@ -119,6 +120,7 @@ def test_committed_baseline_has_both_modes_and_all_probes():
     document = json.loads((REPO_ROOT / "benchmarks" / "BENCH_baseline.json").read_text())
     assert document["schema"] == gate.SCHEMA_VERSION
     expected = {
+        "campaign_parallel_speedup",
         "codec_decode_batch_mbps",
         "codec_encode_mbps",
         "codec_pipeline_mbps",
