@@ -4,9 +4,15 @@ Benchmarks the encode + progressive-decode pipeline at the paper's
 generation shape (40 blocks of 1 KB) with the accelerated (numpy
 row-vectorized) engine, and at a smaller shape for the pure-Python
 lookup-table baseline (full-size baseline runs take minutes); the
-speedup comparison runs both at the common smaller shape.
+speedup comparison runs both at the common smaller shape.  A
+parametrized case additionally covers every registered GF(2^8) backend
+available on this machine, so artifact runs record how nibble-split and
+the compiled kernels compare shape-for-shape.
 """
 
+import pytest
+
+from repro.coding.backends import available_backends, get_backend
 from repro.coding.gf256 import GF256
 from repro.coding.gf256_baseline import GF256Baseline
 from repro.experiments.coding_speed import measure_codec
@@ -26,6 +32,19 @@ def test_accelerated_codec_paper_shape(benchmark):
     )
     benchmark.extra_info["throughput_mbps"] = round(mbps, 2)
     assert mbps > 0.25  # the paper-scale pipeline must be comfortably sub-second
+
+
+@pytest.mark.parametrize("backend", available_backends())
+def test_backend_codec_paper_shape(benchmark, backend):
+    blocks, block_size = PAPER_SHAPE
+    mbps = benchmark.pedantic(
+        _pipeline(get_backend(backend), blocks, block_size),
+        rounds=3,
+        iterations=1,
+    )
+    benchmark.extra_info["gf_backend"] = backend
+    benchmark.extra_info["throughput_mbps"] = round(mbps, 2)
+    assert mbps > 0
 
 
 def test_baseline_codec_small_shape(benchmark):

@@ -18,7 +18,7 @@ from typing import List, Optional
 
 from repro import obs
 from repro.analysis import runner as analysis_runner
-from repro.exec import add_execution_arguments, policy_from_args
+from repro.exec import add_execution_arguments, apply_gf_backend, policy_from_args
 from repro.emulator.session import (
     SessionConfig,
     run_coded_session,
@@ -148,6 +148,7 @@ def _print_metrics(registry: "obs.MetricsRegistry") -> None:
 
 
 def _cmd_session(args: argparse.Namespace) -> int:
+    apply_gf_backend(args.gf_backend)
     rng = RngFactory(args.seed)
     if args.topology:
         network = load_network(args.topology)
@@ -320,6 +321,13 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=10.0,
         help="control-plane observation interval for --scenario (default 10)",
+    )
+    session.add_argument(
+        "--gf-backend",
+        default=None,
+        metavar="NAME",
+        help="GF(2^8) codec backend ('numpy', 'nibble', 'native', 'numba', "
+        "or 'best'; default: numpy reference, or OMNC_GF_BACKEND)",
     )
     session.set_defaults(func=_cmd_session)
 

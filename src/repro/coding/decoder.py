@@ -21,10 +21,12 @@ pivot-column index vector.  The elimination kernel is batch-first:
 :meth:`ProgressiveDecoder.add_rows` forward-eliminates a whole batch
 against every existing pivot with a single GF(2^8) matrix product
 (valid because the matrix is *reduced*, so all pivots can be cleared at
-once), extracts new pivots with one gather-based ``addmul_rows`` sweep
-per pivot, and back-substitutes all new pivots into the old rows with a
-second matrix product.  The single-packet :meth:`add_packet` /
-:meth:`add_row` API is a one-row batch.
+once), extracts new pivots from a narrow cache-blocked coefficient
+panel (``field.eliminate_panel`` on ``[W | I_k]``, with the identity
+half accumulating the row-op transform that is then applied to the
+payloads as one matrix product), and back-substitutes all new pivots
+into the old rows with a second matrix product.  The single-packet
+:meth:`add_packet` / :meth:`add_row` API is a one-row batch.
 
 :class:`BlockDecoder` is the contrast case for the ablation benchmark: it
 buffers packets and decodes with one matrix inversion at the end.
@@ -32,14 +34,14 @@ buffers packets and decodes with one matrix inversion at the end.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence
+from typing import List, Optional, Sequence
 
 import numpy as np
 
 from repro import obs
 from repro.coding import matrix as gfmatrix
+from repro.coding.backends import resolve_field
 from repro.coding.matrix import FieldType
-from repro.coding.gf256 import GF256
 from repro.coding.generation import Generation
 from repro.coding.packet import CodedPacket
 
@@ -59,7 +61,7 @@ class ProgressiveDecoder:
         blocks: int,
         block_size: int | None = None,
         *,
-        field: FieldType = GF256,
+        field: Optional[FieldType] = None,
         registry: obs.MetricsRegistry | None = None,
     ) -> None:
         if blocks <= 0:
@@ -68,7 +70,7 @@ class ProgressiveDecoder:
             raise ValueError(f"block_size must be > 0, got {block_size}")
         self._blocks = blocks
         self._block_size = block_size
-        self._field = field
+        self._field = resolve_field(field)
         width = blocks + (block_size or 0)
         # Contiguous augmented matrix [R | X]: rows 0..rank-1 are valid,
         # kept in RREF and sorted by pivot column.  The parallel pivot
@@ -181,9 +183,10 @@ class ProgressiveDecoder:
         all existing pivots at once (one GF(2^8) matrix product — legal
         because the stored matrix is *reduced* row-echelon, so no pivot
         row carries another pivot's column), then new pivots are
-        extracted sequentially with one vectorized ``addmul_rows`` sweep
-        over the whole batch per pivot, and finally back-substituted into
-        the previously stored rows with a single matrix product.
+        extracted from a coefficient-only ``[W | I_k]`` panel whose
+        accumulated transform updates the payload half in one matrix
+        product, and finally back-substituted into the previously stored
+        rows with a single matrix product.
         """
         batch = np.array(batch, dtype=np.uint8, copy=copy, ndmin=2)
         if batch.ndim != 2 or batch.shape[1] != self._width:
@@ -209,36 +212,50 @@ class ProgressiveDecoder:
                 np.bitwise_xor(
                     batch, field.matmul(coeffs, self._matrix[:rank]), out=batch
                 )
-        # Phase 2: extract new pivots.  Rows must be scanned in order
-        # (later rows may depend on earlier ones), but each new pivot is
-        # cleared from *every* other batch row in one vectorized sweep —
-        # which simultaneously keeps earlier new pivot rows reduced.
-        new_index: List[int] = []
-        new_cols: List[int] = []
+        # Phase 2: extract new pivots with a cache-blocked panel.  Only
+        # the narrow coefficient half enters the row-order pivot scan, as
+        # a [W | I_k] work matrix whose identity half accumulates the
+        # row-op transform T while W is eliminated in place (the panel
+        # factorization trick).  Payloads never ride through the scan;
+        # the accumulated T is applied to them afterwards as one matrix
+        # product — bit-identical to full-width row operations because
+        # GF(2^8) arithmetic is exact.
         limit = blocks - rank
-        for i in range(k):
-            if len(new_index) >= limit:
-                break
-            row = batch[i]
+        if k == 1:
+            # Single-row batch (the per-packet API): no intra-batch
+            # elimination is possible, so the panel machinery below —
+            # the [W | I] work matrix and the payload product — is pure
+            # overhead.  Find the pivot and normalize the row in place.
+            row = batch[0]
             nonzero = np.nonzero(row[:blocks])[0]
             if nonzero.size == 0:
-                continue
+                self._m_redundant.inc(k)
+                return verdicts
             pivot_col = int(nonzero[0])
             pivot_value = int(row[pivot_col])
             if pivot_value != 1:
                 row[:] = field.scale_row(row, int(field.inverse(pivot_value)))
-            column = batch[:, pivot_col].copy()
-            column[i] = 0
-            field.addmul_rows(batch, row, column)
-            new_index.append(i)
-            new_cols.append(pivot_col)
-            verdicts[i] = True
-        added = len(new_index)
-        if added == 0:
-            self._m_redundant.inc(k)
-            return verdicts
-        fresh = batch[np.asarray(new_index)]
-        fresh_cols = np.asarray(new_cols, dtype=np.intp)
+            fresh = batch
+            fresh_cols = np.array([pivot_col], dtype=np.intp)
+            verdicts[0] = True
+            added = 1
+        else:
+            work = np.empty((k, blocks + k), dtype=np.uint8)
+            work[:, :blocks] = batch[:, :blocks]
+            work[:, blocks:] = np.eye(k, dtype=np.uint8)
+            pivot_rows, fresh_cols = field.eliminate_panel(work, blocks, limit)
+            added = len(pivot_rows)
+            if added == 0:
+                self._m_redundant.inc(k)
+                return verdicts
+            verdicts[pivot_rows] = True
+            # fresh = [reduced coefficients | T_pivot . payloads]
+            fresh = np.empty((added, self._width), dtype=np.uint8)
+            fresh[:, :blocks] = work[pivot_rows, :blocks]
+            if self._width > blocks:
+                fresh[:, blocks:] = field.matmul(
+                    work[pivot_rows, blocks:], batch[:, blocks:]
+                )
         # Phase 3: back-substitute all new pivots into the old rows with
         # one product (the new rows are mutually reduced and zero in the
         # old pivot columns, so the product clears exactly the new
@@ -296,13 +313,13 @@ class BlockDecoder:
     """
 
     def __init__(
-        self, blocks: int, block_size: int, *, field: FieldType = GF256
+        self, blocks: int, block_size: int, *, field: Optional[FieldType] = None
     ) -> None:
         if blocks <= 0 or block_size <= 0:
             raise ValueError("blocks and block_size must be > 0")
         self._blocks = blocks
         self._block_size = block_size
-        self._field = field
+        self._field = resolve_field(field)
         self._vectors: List[np.ndarray] = []
         self._payloads: List[np.ndarray] = []
 

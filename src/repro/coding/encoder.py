@@ -18,18 +18,22 @@ the accelerated or the baseline codec.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
-from repro.coding.gf256 import GF256
+from repro.coding.backends import resolve_field
 from repro.coding.matrix import FieldType
 from repro.coding.generation import Generation
 from repro.coding.packet import CodedPacket
 
 
 class SourceEncoder:
-    """Emit random linear combinations of a full generation."""
+    """Emit random linear combinations of a full generation.
+
+    ``field=None`` (the default) resolves the process-active backend
+    from :mod:`repro.coding.backends` at construction time.
+    """
 
     def __init__(
         self,
@@ -37,13 +41,13 @@ class SourceEncoder:
         generation: Generation,
         rng: np.random.Generator,
         *,
-        field: FieldType = GF256,
+        field: Optional[FieldType] = None,
         payload: bool = True,
     ) -> None:
         self._session_id = session_id
         self._generation = generation
         self._rng = rng
-        self._field = field
+        self._field = resolve_field(field)
         self._payload = payload
         self._emitted = 0
 
@@ -135,7 +139,7 @@ class RelayReEncoder:
         blocks: int,
         rng: np.random.Generator,
         *,
-        field: FieldType = GF256,
+        field: Optional[FieldType] = None,
         generation_id: int = 0,
     ) -> None:
         if blocks <= 0:
@@ -143,7 +147,7 @@ class RelayReEncoder:
         self._session_id = session_id
         self._blocks = blocks
         self._rng = rng
-        self._field = field
+        self._field = resolve_field(field)
         self._generation_id = generation_id
         # Contiguous packet buffers: row i holds the i-th innovative
         # packet.  The payload buffer is allocated lazily on the first

@@ -18,7 +18,7 @@ All public operations accept and return ``numpy.ndarray`` with
 
 from __future__ import annotations
 
-from typing import Callable, Tuple
+from typing import Callable, Protocol, Tuple
 
 import numpy as np
 
@@ -46,6 +46,17 @@ def set_bytes_hook(hook: Callable[[int], object] | None) -> None:
     """
     global _BYTES_HOOK
     _BYTES_HOOK = hook
+
+
+def meter_bytes(count: int) -> None:
+    """Report ``count`` processed payload bytes to the obs hook (if any).
+
+    Backend kernels that do not route through this module's row kernels
+    (nibble-split, compiled) call this so ``codec.bytes_processed`` stays
+    comparable across backends.
+    """
+    if _BYTES_HOOK is not None:
+        _BYTES_HOOK(count)
 
 
 def _build_tables() -> Tuple[np.ndarray, np.ndarray]:
@@ -250,6 +261,88 @@ class GF256:
         if exponent == 0:
             return 1
         return int(_EXP[(int(_LOG[a]) * exponent) % _ORDER])
+
+    @classmethod
+    def eliminate_panel(
+        cls, work: np.ndarray, panel: int, limit: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """In-place Gauss-Jordan elimination with pivots from a column panel.
+
+        This is the blocked-elimination contract every backend must honor
+        bit-for-bit (the decoder and ``matrix.rref`` are built on it):
+
+        ``work`` is a C-contiguous ``(rows, width)`` uint8 matrix whose
+        first ``panel`` columns are searched for pivots; the remaining
+        columns (a transform or payload carry) ride along through every
+        row operation.  Rows are scanned top-down.  A row whose leading
+        nonzero entry within the panel is at column ``c`` becomes a pivot
+        row: it is normalized so ``work[i, c] == 1`` and column ``c`` is
+        eliminated from *every* other row (full width).  Scanning stops
+        after ``limit`` pivots.  Returns ``(pivot_rows, pivot_cols)`` as
+        ``intp`` arrays in discovery (row) order.
+
+        The result is deterministic — pivot choice is "first nonzero
+        column of the earliest eligible row" — so any two conforming
+        implementations mutate ``work`` identically.
+        """
+        return eliminate_panel_reference(cls, work, panel, limit)
+
+
+class SupportsRowOps(Protocol):
+    """The row-kernel surface :func:`eliminate_panel_reference` needs.
+
+    Both codec class families (``GF256`` subclasses and the pure-Python
+    ``GF256Baseline``) satisfy it structurally, so the reference panel
+    elimination can be shared without an inheritance relationship.
+    """
+
+    @staticmethod
+    def scale_row(row: np.ndarray, coefficient: int) -> np.ndarray: ...
+
+    @staticmethod
+    def inverse(a: ArrayLike) -> np.ndarray: ...
+
+    @staticmethod
+    def addmul_rows(
+        targets: np.ndarray, source: np.ndarray, coefficients: np.ndarray
+    ) -> None: ...
+
+
+def eliminate_panel_reference(
+    field: SupportsRowOps, work: np.ndarray, panel: int, limit: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Reference implementation of the :meth:`GF256.eliminate_panel`
+    contract, expressed through the row kernels of ``field`` so that any
+    backend overriding them (nibble-split, compiled) is exercised end to
+    end.  Shared by the baseline codec, which passes itself as ``field``.
+    """
+    if work.ndim != 2:
+        raise ValueError(f"expected a 2-D work matrix, got ndim={work.ndim}")
+    if not 0 <= panel <= work.shape[1]:
+        raise ValueError(f"panel {panel} outside width {work.shape[1]}")
+    rows = work.shape[0]
+    pivot_rows: list[int] = []
+    pivot_cols: list[int] = []
+    for i in range(rows):
+        if len(pivot_rows) >= limit:
+            break
+        row = work[i]
+        nonzero = np.nonzero(row[:panel])[0]
+        if nonzero.size == 0:
+            continue
+        col = int(nonzero[0])
+        value = int(row[col])
+        if value != 1:
+            row[:] = field.scale_row(row, int(field.inverse(value)))
+        column = work[:, col].copy()
+        column[i] = 0
+        field.addmul_rows(work, row, column)
+        pivot_rows.append(i)
+        pivot_cols.append(col)
+    return (
+        np.asarray(pivot_rows, dtype=np.intp),
+        np.asarray(pivot_cols, dtype=np.intp),
+    )
 
 
 def exp_table() -> np.ndarray:

@@ -13,11 +13,11 @@ to reproduce the paper's 3-5x speedup claim.
 
 from __future__ import annotations
 
-from typing import List
+from typing import List, Tuple
 
 import numpy as np
 
-from repro.coding.gf256 import exp_table, log_table
+from repro.coding.gf256 import eliminate_panel_reference, exp_table, log_table
 
 ArrayLike = int | np.ndarray
 
@@ -178,3 +178,11 @@ class GF256Baseline:
         for _ in range(exponent):
             result = _mul_byte(result, a)
         return result
+
+    @classmethod
+    def eliminate_panel(
+        cls, work: np.ndarray, panel: int, limit: int
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Panel Gauss-Jordan elimination (see :meth:`GF256.eliminate_panel`),
+        driven through the byte-at-a-time row kernels."""
+        return eliminate_panel_reference(cls, work, panel, limit)

@@ -9,16 +9,14 @@ maintains its own incremental reduced row-echelon state.
 
 from __future__ import annotations
 
-from typing import List, Tuple
+from typing import List, Optional, Tuple
 
 import numpy as np
 
-from repro.coding.gf256 import GF256
-from repro.coding.gf256_baseline import GF256Baseline
-
-# Any GF(2^8) arithmetic backend: the table-driven vectorized class or
-# the pure-Python baseline.  Both expose the same classmethod surface.
-FieldType = type[GF256] | type[GF256Baseline]
+# FieldType is canonically defined next to the registry; re-exported here
+# because this module is where the seam historically lived and every
+# consumer imports it from here.
+from repro.coding.backends import FieldType, resolve_field
 
 
 def _as_matrix(matrix: np.ndarray) -> np.ndarray:
@@ -28,56 +26,49 @@ def _as_matrix(matrix: np.ndarray) -> np.ndarray:
     return matrix
 
 
-def rref(matrix: np.ndarray, field: FieldType = GF256) -> Tuple[np.ndarray, List[int]]:
+def rref(
+    matrix: np.ndarray, field: Optional[FieldType] = None
+) -> Tuple[np.ndarray, List[int]]:
     """Reduced row-echelon form by Gauss-Jordan elimination.
 
     Returns ``(reduced, pivot_columns)``.  The input is not modified.
     Zero rows sink to the bottom of the returned matrix.
+
+    The elimination itself is one :meth:`~repro.coding.gf256.GF256.eliminate_panel`
+    call spanning the full width (a compiled backend runs it without
+    returning to Python); the panel kernel discovers pivots in row order,
+    so the rows are permuted into echelon order afterwards.  RREF is
+    unique for a given row space, so the result is identical to the
+    classical column-major sweep.
     """
+    field = resolve_field(field)
     work = _as_matrix(matrix).copy()
     rows, cols = work.shape
-    pivot_cols = []
-    pivot_row = 0
-    for col in range(cols):
-        if pivot_row >= rows:
-            break
-        # Find a row at or below pivot_row with a nonzero entry in col.
-        candidates = np.nonzero(work[pivot_row:, col])[0]
-        if candidates.size == 0:
-            continue
-        chosen = pivot_row + int(candidates[0])
-        if chosen != pivot_row:
-            work[[pivot_row, chosen]] = work[[chosen, pivot_row]]
-        # Normalize the pivot row so the pivot entry is 1.
-        pivot_value = int(work[pivot_row, col])
-        if pivot_value != 1:
-            inv = int(field.inverse(pivot_value))
-            work[pivot_row] = field.scale_row(work[pivot_row], inv)
-        # Eliminate the pivot column from every other row.
-        for row in range(rows):
-            if row == pivot_row:
-                continue
-            coeff = int(work[row, col])
-            if coeff:
-                field.addmul_row(work[row], work[pivot_row], coeff)
-        pivot_cols.append(col)
-        pivot_row += 1
-    return work, pivot_cols
+    pivot_rows, pivot_cols = field.eliminate_panel(work, cols, rows)
+    order = np.argsort(pivot_cols, kind="stable")
+    reduced = np.zeros_like(work)
+    found = len(pivot_rows)
+    if found:
+        # Non-pivot rows were fully eliminated (any surviving nonzero
+        # would have produced a pivot), so echelon order is the sorted
+        # pivot rows on top and zeros below.
+        reduced[:found] = work[pivot_rows[order]]
+    return reduced, [int(c) for c in pivot_cols[order]]
 
 
-def rank(matrix: np.ndarray, field: FieldType = GF256) -> int:
+def rank(matrix: np.ndarray, field: Optional[FieldType] = None) -> int:
     """Rank of ``matrix`` over GF(2^8)."""
     _, pivots = rref(matrix, field)
     return len(pivots)
 
 
-def is_full_rank(matrix: np.ndarray, field: FieldType = GF256) -> bool:
+def is_full_rank(matrix: np.ndarray, field: Optional[FieldType] = None) -> bool:
     """True if ``matrix`` has rank equal to min(rows, cols)."""
     matrix = _as_matrix(matrix)
     return rank(matrix, field) == min(matrix.shape)
 
 
-def invert(matrix: np.ndarray, field: FieldType = GF256) -> np.ndarray:
+def invert(matrix: np.ndarray, field: Optional[FieldType] = None) -> np.ndarray:
     """Inverse of a square matrix; raises ``ValueError`` if singular."""
     matrix = _as_matrix(matrix)
     n, m = matrix.shape
@@ -91,7 +82,7 @@ def invert(matrix: np.ndarray, field: FieldType = GF256) -> np.ndarray:
 
 
 def solve(
-    coefficients: np.ndarray, payloads: np.ndarray, field: FieldType = GF256
+    coefficients: np.ndarray, payloads: np.ndarray, field: Optional[FieldType] = None
 ) -> np.ndarray:
     """Solve ``R . B = X`` for B — the paper's one-shot decode.
 
@@ -99,6 +90,7 @@ def solve(
     ``payloads`` the (n, m) matrix X of coded blocks; the result is the
     original generation matrix B.
     """
+    field = resolve_field(field)
     coefficients = _as_matrix(coefficients)
     payloads = _as_matrix(payloads)
     if coefficients.shape[0] != payloads.shape[0]:
@@ -123,7 +115,7 @@ def random_matrix(
     rng: np.random.Generator,
     *,
     full_rank: bool = False,
-    field: FieldType = GF256,
+    field: Optional[FieldType] = None,
     max_attempts: int = 64,
 ) -> np.ndarray:
     """Uniformly random matrix; optionally resampled until full rank.

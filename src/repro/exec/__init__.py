@@ -25,6 +25,7 @@ from repro.exec.engine import (
     DEFAULT_CACHE_DIR,
     ExecutionPolicy,
     add_execution_arguments,
+    apply_gf_backend,
     execute_jobs,
     policy_from_args,
 )
@@ -48,6 +49,7 @@ __all__ = [
     "ResultCache",
     "WorkerPool",
     "add_execution_arguments",
+    "apply_gf_backend",
     "execute_jobs",
     "policy_from_args",
     "run_serial",

@@ -218,10 +218,43 @@ def add_execution_arguments(parser: argparse.ArgumentParser) -> None:
         help="extra attempts for jobs that time out or crash "
         "(default 1; exceptions are never retried)",
     )
+    group.add_argument(
+        "--gf-backend",
+        default=None,
+        metavar="NAME",
+        help="GF(2^8) codec backend for this run ('numpy', 'nibble', "
+        "'native', 'numba', or 'best'; default: numpy reference, or "
+        "the OMNC_GF_BACKEND environment variable)",
+    )
+
+
+def apply_gf_backend(name: "str | None") -> None:
+    """Select the GF(2^8) codec backend ``name`` process-wide (no-op on
+    ``None``).
+
+    The selection is exported through ``OMNC_GF_BACKEND`` so campaign
+    worker processes inherit it; results are bit-identical across
+    backends regardless (CI enforces equivalence), so this never
+    changes campaign digests.  Exits with an argparse-style error when
+    the name is unknown or unavailable on this machine.
+    """
+    if name is None:
+        return
+    from repro.coding.backends import select_backend
+
+    try:
+        select_backend(name, export=True)
+    except KeyError as exc:
+        raise SystemExit(f"error: --gf-backend: {exc.args[0]}") from exc
 
 
 def policy_from_args(args: argparse.Namespace) -> ExecutionPolicy:
-    """Build the :class:`ExecutionPolicy` the parsed CLI flags describe."""
+    """Build the :class:`ExecutionPolicy` the parsed CLI flags describe.
+
+    Also applies cross-cutting execution selections carried by the same
+    flag group (currently ``--gf-backend``).
+    """
+    apply_gf_backend(getattr(args, "gf_backend", None))
     cache_dir = args.cache_dir
     if args.resume and cache_dir is None:
         cache_dir = DEFAULT_CACHE_DIR

@@ -101,7 +101,7 @@ def _install_codec_hook(registry: MetricsRegistry) -> None:
     Imported lazily: ``repro.coding`` imports the decoder, which imports
     this package, so a module-level import here would be circular.
     """
-    from repro.coding import gf256
+    from repro.coding import backends, gf256
 
     if registry.enabled:
         counter = registry.counter(
@@ -109,6 +109,12 @@ def _install_codec_hook(registry: MetricsRegistry) -> None:
             "bytes pushed through the GF(2^8) row kernels (encode + decode)",
         )
         gf256.set_bytes_hook(counter.inc)
+        # Tag the run with the backend that serves it (a 1-valued gauge
+        # per name, since metric values are floats, not strings).
+        registry.gauge(
+            f"codec.backend.{backends.active_backend_name()}",
+            "GF(2^8) backend active when collection was enabled (1 = this one)",
+        ).set(1)
     else:
         gf256.set_bytes_hook(None)
 

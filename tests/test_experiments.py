@@ -172,8 +172,10 @@ class TestFig5:
 
 class TestCodingSpeed:
     def test_accelerated_beats_baseline(self):
-        accelerated = measure_codec(GF256, 16, 128)
-        baseline = measure_codec(GF256Baseline, 16, 128)
+        # best-of-3: a single measurement at this tiny shape lasts ~ms,
+        # shorter than the noise spells shared runners exhibit.
+        accelerated = measure_codec(GF256, 16, 128, repeats=3)
+        baseline = measure_codec(GF256Baseline, 16, 128, repeats=3)
         assert accelerated > baseline * 3  # the paper's lower bound
 
     def test_run_coding_speed_points(self):

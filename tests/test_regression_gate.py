@@ -82,7 +82,9 @@ def test_collect_marks_only_interpreter_bound_probes_advisory():
     )["modes"]["quick"]
     advisory = {n for n, r in quick["metrics"].items() if r.get("advisory")}
     assert advisory == {
+        "adaptive_replan",
         "campaign_parallel_speedup",
+        "codec_backend_speedup",
         "emulator_kslots_per_sec",
         "emulator_slot_loop",
         "optimizer_iters_per_sec",
@@ -120,7 +122,9 @@ def test_committed_baseline_has_both_modes_and_all_probes():
     document = json.loads((REPO_ROOT / "benchmarks" / "BENCH_baseline.json").read_text())
     assert document["schema"] == gate.SCHEMA_VERSION
     expected = {
+        "adaptive_replan",
         "campaign_parallel_speedup",
+        "codec_backend_speedup",
         "codec_decode_batch_mbps",
         "codec_encode_mbps",
         "codec_pipeline_mbps",
@@ -133,6 +137,11 @@ def test_committed_baseline_has_both_modes_and_all_probes():
         assert set(section["metrics"]) == expected
         for record in section["metrics"].values():
             assert record["normalized"] > 0
+        # The per-backend sweep ships in the artifact and the baseline:
+        # the reference backend is always present, and the backend that
+        # served the codec probes is one of the measured entries.
+        assert "numpy" in section["backends"]
+        assert section["codec_backend"] in section["backends"]
 
 
 # --------------------------------------------------------------------- probes
