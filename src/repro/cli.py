@@ -149,6 +149,10 @@ def _print_metrics(registry: "obs.MetricsRegistry") -> None:
 
 def _cmd_session(args: argparse.Namespace) -> int:
     apply_gf_backend(args.gf_backend)
+    if args.shards < 0:
+        raise SystemExit("session: --shards must be >= 0")
+    if args.scenario and args.shards:
+        raise SystemExit("session: --shards is incompatible with --scenario")
     rng = RngFactory(args.seed)
     if args.topology:
         network = load_network(args.topology)
@@ -192,6 +196,25 @@ def _cmd_session(args: argparse.Namespace) -> int:
                 tracer=tracer,
             )
             result = adaptive.session
+        elif args.shards:
+            from repro.emulator.shard import run_sharded_session
+
+            if args.protocol == "etx":
+                plan = plan_etx_route(network, source, destination)
+            else:
+                planners = {
+                    "omnc": plan_omnc, "more": plan_more, "oldmore": plan_oldmore
+                }
+                plan = planners[args.protocol](network, source, destination)
+            result = run_sharded_session(
+                network,
+                plan,
+                shards=args.shards,
+                config=config,
+                rng=rng.spawn("session"),
+                protocol_label=args.protocol,
+                tracer=tracer,
+            )
         elif args.protocol == "etx":
             plan = plan_etx_route(network, source, destination)
             result = run_unicast_session(
@@ -304,6 +327,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="PATH",
         help="export per-slot emulation events as JSON lines to PATH",
+    )
+    session.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help="run the sharded slot loop over N worker processes (1 = the "
+        "in-process serial oracle in per-node RNG mode; 0 = classic "
+        "serial drivers; incompatible with --scenario)",
     )
     session.add_argument(
         "--scenario",

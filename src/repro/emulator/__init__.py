@@ -30,6 +30,12 @@ from repro.emulator.session import (
     run_coded_session,
     run_unicast_session,
 )
+from repro.emulator.shard import (
+    ShardedSession,
+    run_sharded_session,
+    session_digest,
+    trace_digest,
+)
 from repro.emulator.trace import SessionTracer, TraceEvent
 from repro.emulator.stats import (
     DistributionSummary,
@@ -55,14 +61,18 @@ __all__ = [
     "SessionConfig",
     "SessionResult",
     "SessionTracer",
+    "ShardedSession",
     "TraceEvent",
     "UnicastRuntime",
     "UtilityRatios",
     "ascii_cdf",
     "count_dag_paths",
     "run_coded_session",
+    "run_sharded_session",
     "run_unicast_session",
+    "session_digest",
     "summarize",
+    "trace_digest",
     "throughput_gain",
     "utility_ratios",
 ]

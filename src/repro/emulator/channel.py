@@ -11,7 +11,9 @@ from coding/placement randomness (see :class:`repro.util.RngFactory`).
 
 from __future__ import annotations
 
-from typing import Iterable, Sequence, Tuple
+from typing import Iterable, Optional, Sequence, Tuple
+
+import numpy as np
 
 from repro.topology.graph import WirelessNetwork
 from repro.util.rng import RngLike, as_rng
@@ -80,6 +82,8 @@ class LossyBroadcastChannel:
         self,
         receiver_ids: Sequence[int],
         probabilities: Sequence[float],
+        *,
+        rng: Optional[np.random.Generator] = None,
     ) -> Tuple[int, ...]:
         """:meth:`broadcast` over candidates already filtered to p > 0.
 
@@ -88,11 +92,17 @@ class LossyBroadcastChannel:
         lists.  Consumes the RNG exactly like :meth:`broadcast` — one
         batched uniform draw per transmission, candidates in the same
         order — so both entry points produce identical loss patterns.
+
+        ``rng`` overrides the channel's own stream for this one draw:
+        the engine's per-node mode hands in the *transmitter's* stream
+        so loss draws are partition-independent (see
+        :class:`repro.util.rng.NodeStreams`).
         """
+        generator = self._rng if rng is None else rng
         self._transmissions += 1
         if not receiver_ids:
             return ()
-        draws = self._rng.random(len(receiver_ids))
+        draws = generator.random(len(receiver_ids))
         delivered = tuple(
             j
             for j, p, u in zip(receiver_ids, probabilities, draws.tolist())
@@ -101,13 +111,25 @@ class LossyBroadcastChannel:
         self._deliveries += len(delivered)
         return delivered
 
-    def unicast(self, transmitter: int, receiver: int) -> bool:
-        """One unicast attempt; True on success."""
+    def unicast(
+        self,
+        transmitter: int,
+        receiver: int,
+        *,
+        rng: Optional[np.random.Generator] = None,
+    ) -> bool:
+        """One unicast attempt; True on success.
+
+        ``rng`` overrides the channel stream for this draw (per-node
+        mode: the transmitter's stream), like
+        :meth:`broadcast_prefiltered`.
+        """
+        generator = self._rng if rng is None else rng
         p = self._network.probability(transmitter, receiver)
         self._transmissions += 1
         if p <= 0.0:
             return False
-        success = bool(self._rng.random() < p)
+        success = bool(generator.random() < p)
         if success:
             self._deliveries += 1
         return success

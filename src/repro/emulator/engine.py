@@ -29,7 +29,7 @@ from repro.emulator.node import NodeRuntime, UnicastRuntime
 from repro.emulator.scheduler import ConflictGraph, IdealMacScheduler
 from repro.emulator.trace import SessionTracer
 from repro.topology.graph import Link, WirelessNetwork
-from repro.util.rng import fallback_rng
+from repro.util.rng import NodeStreams, fallback_rng
 
 
 @dataclass
@@ -65,6 +65,7 @@ class EmulationEngine:
         interference: str = "blanking",
         tracer: SessionTracer | None = None,
         registry: obs.MetricsRegistry | None = None,
+        node_streams: NodeStreams | None = None,
     ) -> None:
         if slot_duration <= 0:
             raise ValueError(f"slot_duration must be > 0, got {slot_duration}")
@@ -88,6 +89,14 @@ class EmulationEngine:
             capture_rng if capture_rng is not None
             else fallback_rng("engine-capture")
         )
+        # Per-node stream mode: every MAC lottery key, channel loss draw
+        # and capture tie-break comes from a stream owned by the node it
+        # concerns, making RNG consumption independent of who else is
+        # active — the property the sharded slot loop
+        # (:mod:`repro.emulator.shard`) needs for shards=1 == shards=N
+        # bit-identity.  When None (default) the engine keeps the three
+        # global streams above, bit-compatible with every existing trace.
+        self._node_streams = node_streams
         self._pending_unicast: Dict[int, bool] = {}
         self._tracer = tracer
         self._stats = EngineStats(
@@ -157,6 +166,14 @@ class EmulationEngine:
         self._rx_pairs: Dict[int, List[Tuple[int, float]]] = {}
         for node in participants:
             neighbors = list(network.neighbors(node))
+            if self._node_streams is not None:
+                # Per-node mode sorts the candidate order so every
+                # process (shard workers unpickle their own network
+                # copy) maps the transmitter's loss draws to receivers
+                # identically.  The default path keeps the historical
+                # frozenset order to stay bit-compatible with existing
+                # traces.
+                neighbors.sort()
             self._cov_list[node] = neighbors
             self._rx_pairs[node] = [
                 (j, network.probability(node, j))
@@ -297,7 +314,10 @@ class EmulationEngine:
             runtime.on_slot(dt)
             backlogs[index] = runtime.backlog()
             weights[index] = runtime.demand_rate(dt)
-        granted = self._scheduler.schedule_arrays(backlogs, weights)
+        if self._node_streams is None:
+            granted = self._scheduler.schedule_arrays(backlogs, weights)
+        else:
+            granted = self._schedule_per_node(backlogs, weights)
         if self._tracer is not None:
             for node in granted:
                 self._tracer.record(
@@ -322,6 +342,31 @@ class EmulationEngine:
             self._m_grants.inc(len(granted))
             self._m_time.set(stats.elapsed)
         return granted
+
+    def _schedule_per_node(
+        self, backlogs: List[float], weights: List[float]
+    ) -> Tuple[int, ...]:
+        """Weighted-lottery grant with per-contender key streams.
+
+        Consumes one scalar ``Exp(1)`` draw from each contender's own
+        "mac" stream (instead of one batched draw from the global
+        scheduler stream), so a node's key sequence depends only on how
+        often *it* contended — not on who else did.  The greedy pass is
+        the scheduler's own, so grants match the global-stream mode's
+        semantics exactly.
+        """
+        streams = self._node_streams
+        assert streams is not None
+        participants = self._participants
+        floor = IdealMacScheduler.WEIGHT_FLOOR
+        keyed: List[Tuple[float, int]] = []
+        for position, backlog in enumerate(backlogs):
+            if backlog <= 0.0:
+                continue
+            draw = float(streams.get("mac", participants[position]).exponential(1.0))
+            keyed.append((draw / max(weights[position], floor), position))
+        keyed.sort()
+        return self._scheduler.grant_from_keyed(keyed)
 
     def _record_tx(self, node: int) -> None:
         if self._obs_enabled:
@@ -355,6 +400,7 @@ class EmulationEngine:
         for node in granted:
             granted_flags[node] = True
         blanking = self._interference == "blanking"
+        streams = self._node_streams
         # Phase 1: fire transmissions and draw per-link receptions.
         offers: Dict[int, List[Tuple[int, object]]] = {}
         covered = self._covered_counts
@@ -379,7 +425,8 @@ class EmulationEngine:
                     if self._obs_enabled:
                         self._m_blanked.inc()
                     continue  # hidden-terminal collision at the receiver
-                if self._channel.unicast(node, target):
+                tx_rng = None if streams is None else streams.get("channel", node)
+                if self._channel.unicast(node, target, rng=tx_rng):
                     offers.setdefault(target, []).append((node, sequence))
             else:
                 packet = runtime.pop_transmission()
@@ -410,8 +457,9 @@ class EmulationEngine:
                         if p > 0.0 and not granted_flags[j]:
                             candidate_ids.append(j)
                             candidate_probs.append(p)
+                tx_rng = None if streams is None else streams.get("channel", node)
                 delivered = self._channel.broadcast_prefiltered(
-                    candidate_ids, candidate_probs
+                    candidate_ids, candidate_probs, rng=tx_rng
                 )
                 for j in delivered:
                     offers.setdefault(j, []).append((node, packet))
@@ -420,7 +468,11 @@ class EmulationEngine:
             if len(arrivals) == 1:
                 sender, payload = arrivals[0]
             else:
-                index = int(self._rng.integers(0, len(arrivals)))
+                capture_rng = (
+                    self._rng if streams is None
+                    else streams.get("capture", receiver)
+                )
+                index = int(capture_rng.integers(0, len(arrivals)))
                 sender, payload = arrivals[index]
             self._stats.delivered_links.add((sender, receiver))
             if self._obs_enabled:

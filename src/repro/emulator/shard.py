@@ -1,0 +1,940 @@
+"""Sharded slot-loop emulation: one session, many processes, one trace.
+
+The serial :class:`~repro.emulator.engine.EmulationEngine` walks every
+runtime every slot; at 10k+ nodes that single loop is the wall.  This
+module spreads the per-slot work over long-lived worker processes while
+keeping the run *bit-identical* to the serial engine in per-node RNG
+mode — ``shards=1`` and ``shards=N`` produce the same trace, the same
+stats, the same :class:`~repro.emulator.session.SessionResult`.
+
+How determinism survives the cut:
+
+* **Per-node RNG streams.**  Every MAC lottery key, channel loss vector
+  and capture tie-break comes from a stream owned by the node it
+  concerns (:class:`~repro.util.rng.NodeStreams`), derived from the
+  session seed.  A node draws the same values no matter which process
+  hosts it, so RNG consumption is partition-independent by
+  construction.
+* **Parent-side global MIS.**  Greedy maximal-independent-set decisions
+  chain across shard cuts without bound, so grants cannot be computed
+  shard-locally.  Shards return ``(key, node)`` lottery entries for
+  their owned contenders; the parent merges them and runs the
+  scheduler's RNG-free :meth:`grant_from_keyed` pass — the same greedy
+  code the serial engine uses.
+* **BSP barriers per slot.**  Each slot is three synchronized phases
+  (four when unicast feedback is in play): ``begin_slot`` (credits +
+  lottery keys), ``fire`` (transmissions + loss draws; every shard sees
+  the full granted set, so blanking coverage is computed locally from
+  the full topology), and ``resolve`` (per-receiver capture, routed to
+  the receiver's owner).  Offers carry their transmitter's grant rank
+  and per-broadcast delivery position, which reconstructs the serial
+  engine's per-receiver arrival order and its receiver processing
+  order exactly.
+* **Deferred generation advance.**  The serial driver applies the
+  decoded-generation ACK between slots; the sharded driver applies it
+  at the next ``begin_slot`` barrier — the same point in runtime-state
+  time, since nothing touches the data plane in between.
+
+The oracle: ``ShardedSession(shards=1)`` runs the serial engine in
+per-node mode in-process.  Note that per-node mode draws *different*
+(equally valid) randomness than the engine's historical global streams,
+so a sharded run is its own deterministic universe — compare sharded
+runs against ``shards=1``, not against :func:`run_coded_session`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.emulator.channel import LossyBroadcastChannel
+from repro.emulator.engine import EmulationEngine, EngineStats
+from repro.emulator.node import NodeRuntime, UnicastRuntime
+from repro.emulator.scheduler import ConflictGraph, IdealMacScheduler
+from repro.emulator.session import (
+    SessionConfig,
+    SessionResult,
+    build_plan_runtimes,
+)
+from repro.emulator.trace import SessionTracer
+from repro.exec.pool import PersistentWorkerGroup, WorkerPool
+from repro.protocols.base import SessionPlan, UnicastPathPlan
+from repro.topology.graph import Link, WirelessNetwork
+from repro.topology.partition import NetworkPartition, partition_network
+from repro.util.rng import NodeStreams, RngFactory
+
+__all__ = [
+    "ShardInit",
+    "ShardWorker",
+    "ShardedSession",
+    "run_sharded_session",
+    "session_digest",
+    "trace_digest",
+]
+
+#: One transmission offer crossing the resolve barrier:
+#: (receiver, sender, grant_rank, delivery_pos, kind, payload).
+#: ``grant_rank`` is the sender's index in the granted tuple and
+#: ``delivery_pos`` its index in the sender's delivered tuple — together
+#: they reproduce the serial engine's offers-dict insertion order.
+Offer = Tuple[int, int, int, int, str, Any]
+
+
+class _DecodeLog:
+    """Picklable decoded-generation recorder.
+
+    ``build_plan_runtimes`` wires the destination's ``on_decoded``
+    callback straight into session-driver closures, which cannot cross a
+    process boundary.  This recorder can: it rides inside the runtime
+    pickle shipped to the owning shard (pickling one ``ShardInit``
+    preserves the shared reference), accumulates generation ids, and is
+    drained at each resolve barrier.
+    """
+
+    def __init__(self) -> None:
+        self.events: List[int] = []
+
+    def __call__(self, generation_id: int) -> None:
+        self.events.append(generation_id)
+
+    def drain(self) -> List[int]:
+        drained = self.events
+        self.events = []
+        return drained
+
+
+class _DeliveryLog:
+    """Picklable end-to-end delivery recorder (unicast sessions)."""
+
+    def __init__(self) -> None:
+        self.events: List[int] = []
+
+    def __call__(self, sequence: int) -> None:
+        self.events.append(sequence)
+
+    def drain(self) -> List[int]:
+        drained = self.events
+        self.events = []
+        return drained
+
+
+@dataclass
+class ShardInit:
+    """Everything one shard worker needs, in a single picklable payload.
+
+    The runtimes dict holds only this shard's owned nodes; the network
+    and participant list are complete, because blanking coverage and
+    receiver filtering are global computations every shard performs
+    locally (they are deterministic, so replication costs no
+    coordination).  ``seed`` rebuilds the per-node RNG streams in the
+    worker — streams derive lazily by (kind, node), so a worker only
+    ever materializes streams for nodes it owns.
+    """
+
+    network: WirelessNetwork
+    owned: Tuple[int, ...]
+    runtimes: Dict[int, NodeRuntime]
+    participants: Tuple[int, ...]
+    slot_duration: float
+    interference: str
+    seed: int
+    has_unicast: bool
+    decode_log: _DecodeLog = field(default_factory=_DecodeLog)
+    delivery_log: _DeliveryLog = field(default_factory=_DeliveryLog)
+
+
+class ShardWorker:
+    """The shard-resident half of the slot loop.
+
+    Lives inside a :class:`~repro.exec.pool.PersistentWorkerGroup`
+    worker; every public method is a barrier-phase handler dispatched by
+    the parent via ``call_all``.  State (runtimes, RNG streams, stats
+    accumulators) persists across barriers — only per-slot messages
+    cross the pipe.
+    """
+
+    def __init__(self, init: ShardInit) -> None:
+        self._network = init.network
+        self._dt = init.slot_duration
+        self._interference = init.interference
+        self._has_unicast = init.has_unicast
+        self._streams = NodeStreams(RngFactory(init.seed))
+        # The channel's own stream is never consumed: every draw goes
+        # through the per-node override, exactly like the serial engine
+        # in per-node mode.
+        self._channel = LossyBroadcastChannel(init.network, rng=0)
+        self._decode_log = init.decode_log
+        self._delivery_log = init.delivery_log
+        self._pending_unicast: Dict[int, bool] = {}
+        self._queue_time_sum: Dict[int, float] = {}
+        self._transmissions: Dict[int, int] = {}
+        self._delivered_links: Set[Link] = set()
+        self._install_runtimes(dict(init.runtimes), tuple(init.participants))
+
+    def _install_runtimes(
+        self, runtimes: Dict[int, NodeRuntime], participants: Tuple[int, ...]
+    ) -> None:
+        self._runtimes = runtimes
+        self._owned = tuple(sorted(runtimes))
+        self._owned_set = frozenset(self._owned)
+        self._participants = participants
+        self._participant_set = frozenset(participants)
+        for node in self._owned:
+            self._queue_time_sum.setdefault(node, 0.0)
+            self._transmissions.setdefault(node, 0)
+        self._build_structures()
+
+    def _build_structures(self) -> None:
+        """Mirror of the engine's per-node-mode precomputation.
+
+        Coverage lists exist for *every* participant — any of them can
+        be granted, and blanking coverage counts all granted coverage
+        disks — while receiver pairs are needed only for owned nodes
+        (the only transmitters this shard fires).  Candidate order is
+        sorted, matching the engine's per-node mode, so the
+        transmitter's loss-draw-to-receiver mapping is identical in
+        every process.
+        """
+        network = self._network
+        self._cov_list: Dict[int, List[int]] = {}
+        self._rx_pairs: Dict[int, List[Tuple[int, float]]] = {}
+        for node in self._participants:
+            neighbors = sorted(network.neighbors(node))
+            self._cov_list[node] = neighbors
+            if node in self._owned_set:
+                self._rx_pairs[node] = [
+                    (j, network.probability(node, j))
+                    for j in neighbors
+                    if j in self._participant_set
+                ]
+        node_count = network.node_count
+        self._granted_flags: List[bool] = [False] * node_count
+        self._covered_counts: List[int] = [0] * node_count
+
+    # -- barrier phases ------------------------------------------------
+
+    def begin_slot(self, advance: Optional[int]) -> List[Tuple[float, int]]:
+        """Apply a deferred generation advance, tick clocks, draw keys.
+
+        Returns ``(key, node)`` lottery entries for owned contenders;
+        the parent merges all shards' entries into the global greedy
+        MIS pass.
+        """
+        if advance is not None:
+            for runtime in self._runtimes.values():
+                runtime.advance_generation(advance)
+        dt = self._dt
+        floor = IdealMacScheduler.WEIGHT_FLOOR
+        keyed: List[Tuple[float, int]] = []
+        for node in self._owned:
+            runtime = self._runtimes[node]
+            runtime.on_slot(dt)
+            if runtime.backlog() <= 0.0:
+                continue
+            weight = runtime.demand_rate(dt)
+            draw = float(self._streams.get("mac", node).exponential(1.0))
+            keyed.append((draw / max(weight, floor), node))
+        return keyed
+
+    def fire(
+        self, granted: Tuple[int, ...]
+    ) -> Tuple[List[Tuple[int, int]], List[Offer]]:
+        """Fire this shard's granted transmitters against the full grant.
+
+        The complete granted tuple (all shards) arrives so blanking
+        coverage and half-duplex checks are computed exactly as the
+        serial engine computes them.  Returns ``(rank, node)`` records
+        of transmissions that actually fired (trace reconstruction) and
+        the resulting offers.
+        """
+        granted_flags = self._granted_flags
+        covered = self._covered_counts
+        blanking = self._interference == "blanking"
+        for node in granted:
+            granted_flags[node] = True
+        if blanking:
+            for node in granted:
+                for j in self._cov_list[node]:
+                    covered[j] += 1
+        transmitted: List[Tuple[int, int]] = []
+        offers: List[Offer] = []
+        try:
+            for rank, node in enumerate(granted):
+                if node not in self._owned_set:
+                    continue
+                runtime = self._runtimes[node]
+                if isinstance(runtime, UnicastRuntime):
+                    sequence = runtime.peek_sequence()
+                    if sequence is None:
+                        continue
+                    target = runtime.next_hop
+                    assert target is not None
+                    self._transmissions[node] += 1
+                    transmitted.append((rank, node))
+                    self._pending_unicast[node] = False
+                    if granted_flags[target]:
+                        continue  # half-duplex: a transmitter cannot receive
+                    if blanking and covered[target] > 1:
+                        continue  # hidden-terminal collision at the receiver
+                    tx_rng = self._streams.get("channel", node)
+                    if self._channel.unicast(node, target, rng=tx_rng):
+                        offers.append((target, node, rank, 0, "unicast", sequence))
+                else:
+                    packet = runtime.pop_transmission()
+                    if packet is None:
+                        continue
+                    self._transmissions[node] += 1
+                    transmitted.append((rank, node))
+                    candidate_ids: List[int] = []
+                    candidate_probs: List[float] = []
+                    if blanking:
+                        for j, p in self._rx_pairs[node]:
+                            if granted_flags[j] or covered[j] > 1:
+                                continue
+                            if p > 0.0:
+                                candidate_ids.append(j)
+                                candidate_probs.append(p)
+                    else:
+                        for j, p in self._rx_pairs[node]:
+                            if p > 0.0 and not granted_flags[j]:
+                                candidate_ids.append(j)
+                                candidate_probs.append(p)
+                    tx_rng = self._streams.get("channel", node)
+                    delivered = self._channel.broadcast_prefiltered(
+                        candidate_ids, candidate_probs, rng=tx_rng
+                    )
+                    for pos, j in enumerate(delivered):
+                        offers.append((j, node, rank, pos, "coded", packet))
+        finally:
+            for node in granted:
+                granted_flags[node] = False
+            if blanking:
+                for node in granted:
+                    for j in self._cov_list[node]:
+                        covered[j] = 0
+        return transmitted, offers
+
+    def resolve(
+        self, entries: List[Tuple[int, List[Tuple[int, str, Any]]]]
+    ) -> Dict[str, Any]:
+        """Per-receiver capture resolution for this shard's owned receivers.
+
+        ``entries`` holds ``(receiver, arrivals)`` with arrivals already
+        in the serial engine's per-receiver order; a multi-arrival
+        receiver draws its tie-break from its own capture stream, so
+        cross-receiver processing order cannot perturb any draw.
+        """
+        deliveries: List[Tuple[int, int, str]] = []
+        for receiver, arrivals in entries:
+            if len(arrivals) == 1:
+                sender, kind, payload = arrivals[0]
+            else:
+                capture_rng = self._streams.get("capture", receiver)
+                index = int(capture_rng.integers(0, len(arrivals)))
+                sender, kind, payload = arrivals[index]
+            self._delivered_links.add((sender, receiver))
+            runtime = self._runtimes[receiver]
+            if kind == "unicast":
+                assert isinstance(runtime, UnicastRuntime)
+                runtime.receive_sequence(payload)
+            else:
+                runtime.on_receive(payload, sender)
+            deliveries.append((receiver, sender, kind))
+        if not self._has_unicast:
+            self._sample_queues()
+        return {
+            "deliveries": deliveries,
+            "decoded": self._decode_log.drain(),
+            "delivered": self._delivery_log.drain(),
+        }
+
+    def finish_slot(self, successes: Sequence[int]) -> None:
+        """Settle owned unicast attempts, then sample queues.
+
+        Only invoked for sessions containing unicast runtimes: the
+        head-of-line pop in ``complete_transmission`` changes queue
+        lengths, so sampling must wait for the success verdicts that the
+        receivers' shards produced at the resolve barrier.
+        """
+        success_set = set(successes)
+        for node in sorted(self._pending_unicast):
+            runtime = self._runtimes[node]
+            assert isinstance(runtime, UnicastRuntime)
+            runtime.complete_transmission(node in success_set)
+        self._pending_unicast.clear()
+        self._sample_queues()
+
+    def _sample_queues(self) -> None:
+        queue_times = self._queue_time_sum
+        for node in self._owned:
+            queue_times[node] += self._runtimes[node].queue_length()
+
+    # -- control plane -------------------------------------------------
+
+    def advance_idle(self, slots: int) -> None:
+        """Stall the data plane for ``slots`` slots (replan cost model)."""
+        if slots <= 0:
+            return
+        queue_times = self._queue_time_sum
+        for node in self._owned:
+            queue_times[node] += self._runtimes[node].queue_length() * slots
+
+    def set_network(self, network: WirelessNetwork) -> None:
+        """Swap the topology mid-run; RNG streams are untouched."""
+        if network.node_count != self._network.node_count:
+            raise ValueError(
+                "replacement network must keep the node count "
+                f"({self._network.node_count} != {network.node_count})"
+            )
+        self._network = network
+        self._channel.set_network(network)
+        self._build_structures()
+
+    def rebuild(self, _argument: Optional[int] = None) -> None:
+        """Refresh precomputed structures (after plan updates)."""
+        self._build_structures()
+
+    def apply_plan(self, updates: Dict[int, Dict[str, Any]]) -> None:
+        """Hot-swap plan parameters on owned runtimes."""
+        for node, params in updates.items():
+            self._runtimes[node].apply_plan(**params)
+
+    def finalize(self, _argument: Optional[int] = None) -> Dict[str, Any]:
+        """Shard-local stats for the parent's merge (non-destructive)."""
+        return {
+            "queue_time_sum": dict(self._queue_time_sum),
+            "transmissions": dict(self._transmissions),
+            "delivered_links": sorted(self._delivered_links),
+        }
+
+
+class ShardedSession:
+    """Parent-side driver of one sharded (or serial-oracle) session.
+
+    ``shards=1`` runs the serial engine in per-node RNG mode in-process
+    — the digest oracle.  ``shards>1`` partitions the mesh spatially
+    (:func:`~repro.topology.partition.partition_network`), ships each
+    shard its owned runtimes, and drives the slot loop through
+    per-slot barriers on a :class:`PersistentWorkerGroup`.  Both modes
+    expose the same API and produce bit-identical traces and stats.
+    """
+
+    def __init__(
+        self,
+        network: WirelessNetwork,
+        runtimes: Dict[int, NodeRuntime],
+        slot_duration: float,
+        *,
+        rng_factory: RngFactory,
+        shards: int = 1,
+        interference: str = "blanking",
+        tracer: SessionTracer | None = None,
+        decode_log: _DecodeLog | None = None,
+        delivery_log: _DeliveryLog | None = None,
+        on_decoded: Callable[[int, float], None] | None = None,
+        on_delivered: Callable[[int], None] | None = None,
+        start_method: str | None = None,
+    ) -> None:
+        if shards < 1:
+            raise ValueError(f"shards must be >= 1, got {shards}")
+        if shards > network.node_count:
+            raise ValueError(
+                f"cannot run {shards} shards on {network.node_count} node(s)"
+            )
+        self._network = network
+        self._runtimes = runtimes
+        self._dt = slot_duration
+        self._interference = interference
+        self._tracer = tracer
+        self._decode_log = decode_log if decode_log is not None else _DecodeLog()
+        self._delivery_log = (
+            delivery_log if delivery_log is not None else _DeliveryLog()
+        )
+        self._on_decoded = on_decoded
+        self._on_delivered = on_delivered
+        self._has_unicast = any(
+            isinstance(r, UnicastRuntime) for r in runtimes.values()
+        )
+        self._pending_advance: Optional[int] = None
+        self._slots = 0
+        self._elapsed = 0.0
+        self._grants = 0
+        self._closed = False
+        self._shards = shards
+        self._partition: NetworkPartition | None = None
+        self._group: PersistentWorkerGroup | None = None
+        self._engine: EmulationEngine | None = None
+        if shards == 1:
+            self._engine = EmulationEngine(
+                network,
+                runtimes,
+                LossyBroadcastChannel(network, rng=0),
+                slot_duration,
+                interference=interference,
+                tracer=tracer,
+                node_streams=NodeStreams(rng_factory),
+            )
+        else:
+            self._partition = partition_network(network, shards)
+            self._build_parent_scheduler()
+            participants = tuple(sorted(runtimes))
+            owner = self._partition.owner
+            payloads = []
+            for shard in range(shards):
+                owned_runtimes = {
+                    node: runtime
+                    for node, runtime in runtimes.items()
+                    if owner[node] == shard
+                }
+                payloads.append(
+                    ShardInit(
+                        network=network,
+                        owned=tuple(sorted(owned_runtimes)),
+                        runtimes=owned_runtimes,
+                        participants=participants,
+                        slot_duration=slot_duration,
+                        interference=interference,
+                        seed=rng_factory.seed,
+                        has_unicast=self._has_unicast,
+                        decode_log=self._decode_log,
+                        delivery_log=self._delivery_log,
+                    )
+                )
+            pool = WorkerPool(shards, start_method=start_method)
+            self._group = pool.persistent(ShardWorker, payloads)
+
+    def _build_parent_scheduler(self) -> None:
+        """(Re)build the global greedy-MIS pass over current participants.
+
+        The parent's scheduler never consumes RNG — every key arrives
+        pre-drawn from a node's own stream — so its generator argument
+        is irrelevant; only the conflict structure matters.
+        """
+        conflicts = ConflictGraph(
+            self._network,
+            self._runtimes.keys(),
+            two_hop=(self._interference == "conflict_free"),
+        )
+        self._scheduler = IdealMacScheduler(conflicts)
+        self._positions = {
+            node: i for i, node in enumerate(conflicts.participants)
+        }
+
+    # -- introspection -------------------------------------------------
+
+    @property
+    def shards(self) -> int:
+        """Shard count (1 = in-process serial oracle)."""
+        return self._shards
+
+    @property
+    def partition(self) -> NetworkPartition | None:
+        """The spatial partition (None for the serial oracle)."""
+        return self._partition
+
+    @property
+    def now(self) -> float:
+        """Emulated seconds elapsed."""
+        return self._elapsed
+
+    @property
+    def slots(self) -> int:
+        """Slots executed."""
+        return self._slots
+
+    @property
+    def slot_duration(self) -> float:
+        """Seconds of airtime per slot."""
+        return self._dt
+
+    # -- slot loop -----------------------------------------------------
+
+    def run(
+        self,
+        max_slots: int,
+        *,
+        stop_when: Callable[[], bool] | None = None,
+    ) -> None:
+        """Advance up to ``max_slots``; ``stop_when`` checked per slot."""
+        if max_slots < 0:
+            raise ValueError(f"max_slots must be >= 0, got {max_slots}")
+        for _ in range(max_slots):
+            self.step()
+            if stop_when is not None and stop_when():
+                break
+
+    def step(self) -> Tuple[int, ...]:
+        """Execute one slot; returns the granted transmitter set."""
+        if self._engine is not None:
+            granted = self._engine.step()
+            self._drain_logs()
+            self._bump(granted)
+            return granted
+        group = self._group
+        assert group is not None
+        shards = self._shards
+        advance = self._pending_advance
+        self._pending_advance = None
+        keyed_lists = group.call_all("begin_slot", [advance] * shards)
+        positions = self._positions
+        keyed = sorted(
+            (key, positions[node])
+            for entries in keyed_lists
+            for key, node in entries
+        )
+        granted = self._scheduler.grant_from_keyed(keyed)
+        tracer = self._tracer
+        if tracer is not None:
+            for node in granted:
+                tracer.record(self._slots, self._elapsed, "grant", node)
+        fire_replies = group.call_all("fire", [granted] * shards)
+        if tracer is not None:
+            transmitted = sorted(
+                entry for reply in fire_replies for entry in reply[0]
+            )
+            for _rank, node in transmitted:
+                tracer.record(self._slots, self._elapsed, "tx", node)
+        # Group offers per receiver; per-receiver arrival order and the
+        # receiver processing order both follow (grant_rank,
+        # delivery_pos) — the serial offers-dict insertion order.
+        per_receiver: Dict[int, List[Tuple[int, int, int, str, Any]]] = {}
+        for reply in fire_replies:
+            for receiver, sender, rank, pos, kind, payload in reply[1]:
+                per_receiver.setdefault(receiver, []).append(
+                    (rank, pos, sender, kind, payload)
+                )
+        ordered: List[Tuple[Tuple[int, int], int, List[Tuple[int, str, Any]]]] = []
+        for receiver, arrivals in per_receiver.items():
+            arrivals.sort(key=lambda entry: (entry[0], entry[1]))
+            ordered.append(
+                (
+                    (arrivals[0][0], arrivals[0][1]),
+                    receiver,
+                    [(sender, kind, payload)
+                     for _rank, _pos, sender, kind, payload in arrivals],
+                )
+            )
+        ordered.sort(key=lambda entry: entry[0])
+        owner = self._partition.owner if self._partition is not None else ()
+        entries_per_shard: List[List[Tuple[int, List[Tuple[int, str, Any]]]]] = [
+            [] for _ in range(shards)
+        ]
+        for _key, receiver, arrivals in ordered:
+            entries_per_shard[owner[receiver]].append((receiver, arrivals))
+        replies = group.call_all("resolve", entries_per_shard)
+        winner: Dict[int, Tuple[int, str]] = {}
+        for reply in replies:
+            for receiver, sender, kind in reply["deliveries"]:
+                winner[receiver] = (sender, kind)
+        unicast_successes: Set[int] = set()
+        for _key, receiver, _arrivals in ordered:
+            sender, kind = winner[receiver]
+            if tracer is not None:
+                tracer.record(
+                    self._slots, self._elapsed, "delivery", sender, peer=receiver
+                )
+            if kind == "unicast":
+                unicast_successes.add(sender)
+        for reply in replies:
+            for generation_id in reply["decoded"]:
+                self._handle_decoded(generation_id)
+            for sequence in reply["delivered"]:
+                if self._on_delivered is not None:
+                    self._on_delivered(sequence)
+        if self._has_unicast:
+            successes_per_shard: List[List[int]] = [[] for _ in range(shards)]
+            for sender in sorted(unicast_successes):
+                successes_per_shard[owner[sender]].append(sender)
+            group.call_all("finish_slot", successes_per_shard)
+        self._bump(granted)
+        return granted
+
+    def _bump(self, granted: Tuple[int, ...]) -> None:
+        self._slots += 1
+        self._elapsed += self._dt
+        self._grants += len(granted)
+
+    def _drain_logs(self) -> None:
+        """Serial-oracle decode/delivery polling (post-``engine.step``).
+
+        Fires the parent callbacks *before* the slot counter bump, so
+        ack timestamps accumulate through exactly the same float
+        additions as the ``shards>1`` path.
+        """
+        for generation_id in self._decode_log.drain():
+            self._handle_decoded(generation_id)
+        for sequence in self._delivery_log.drain():
+            if self._on_delivered is not None:
+                self._on_delivered(sequence)
+
+    def _handle_decoded(self, generation_id: int) -> None:
+        if self._on_decoded is not None:
+            self._on_decoded(generation_id, self._elapsed)
+
+    def broadcast_generation_advance(self, generation_id: int) -> None:
+        """Propagate the ACK/next-generation signal to every runtime.
+
+        The serial oracle applies it immediately (the engine's own
+        path); shards defer the runtime update to the next
+        ``begin_slot`` barrier — state-equivalent, because nothing
+        touches the data plane between slots.
+        """
+        if self._engine is not None:
+            self._engine.broadcast_generation_advance(generation_id)
+            return
+        if self._tracer is not None:
+            self._tracer.record(
+                self._slots, self._elapsed, "ack", -1, detail=generation_id
+            )
+        self._pending_advance = generation_id
+
+    # -- control plane -------------------------------------------------
+
+    def advance_idle(self, slots: int) -> None:
+        """Advance time with the data plane stalled (replan cost)."""
+        if slots < 0:
+            raise ValueError(f"slots must be >= 0, got {slots}")
+        if slots == 0:
+            return
+        if self._engine is not None:
+            self._engine.advance_idle(slots)
+        else:
+            assert self._group is not None
+            self._group.call_all("advance_idle", [slots] * self._shards)
+        self._slots += slots
+        self._elapsed += slots * self._dt
+
+    def set_network(self, network: WirelessNetwork) -> None:
+        """Swap the topology mid-run on every shard."""
+        if network.node_count != self._network.node_count:
+            raise ValueError(
+                "replacement network must keep the node count "
+                f"({self._network.node_count} != {network.node_count})"
+            )
+        self._network = network
+        if self._engine is not None:
+            self._engine.set_network(network)
+            return
+        assert self._group is not None
+        self._group.call_all("set_network", [network] * self._shards)
+        self._build_parent_scheduler()
+
+    def rebuild_runtime_structures(self) -> None:
+        """Refresh precomputed slot-loop structures after plan updates.
+
+        Unlike the serial engine's richer signature, the sharded form
+        cannot swap runtime *objects* — they live in the workers — so
+        parameter changes go through :meth:`apply_plan_updates`.
+        """
+        if self._engine is not None:
+            self._engine.rebuild_runtime_structures()
+            return
+        assert self._group is not None
+        self._group.call_all("rebuild")
+        self._build_parent_scheduler()
+
+    def apply_plan_updates(self, updates: Dict[int, Dict[str, Any]]) -> None:
+        """Route ``runtime.apply_plan(**params)`` to each node's owner."""
+        unknown = sorted(set(updates) - set(self._runtimes))
+        if unknown:
+            raise KeyError(f"no runtimes for nodes {unknown}")
+        if self._engine is not None:
+            for node, params in updates.items():
+                self._runtimes[node].apply_plan(**params)
+            return
+        assert self._partition is not None and self._group is not None
+        owner = self._partition.owner
+        per_shard: List[Dict[int, Dict[str, Any]]] = [
+            {} for _ in range(self._shards)
+        ]
+        for node, params in updates.items():
+            per_shard[owner[node]][node] = params
+        self._group.call_all("apply_plan", per_shard)
+
+    # -- results -------------------------------------------------------
+
+    def finalize_stats(self) -> EngineStats:
+        """Merge per-shard counters into one serial-shaped stats object."""
+        if self._engine is not None:
+            return self._engine.stats
+        assert self._group is not None
+        merged = EngineStats(
+            slots=self._slots, elapsed=self._elapsed, grants=self._grants
+        )
+        for reply in self._group.call_all("finalize"):
+            merged.queue_time_sum.update(reply["queue_time_sum"])
+            merged.transmissions.update(reply["transmissions"])
+            merged.delivered_links.update(
+                (int(i), int(j)) for i, j in reply["delivered_links"]
+            )
+        return merged
+
+    def close(self) -> None:
+        """Shut the worker group down (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._group is not None:
+            self._group.close()
+
+    def __enter__(self) -> "ShardedSession":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
+def run_sharded_session(
+    network: WirelessNetwork,
+    plan: SessionPlan,
+    *,
+    shards: int = 1,
+    session_id: int = 1,
+    config: SessionConfig | None = None,
+    rng: RngFactory | None = None,
+    protocol_label: str | None = None,
+    tracer: SessionTracer | None = None,
+    start_method: str | None = None,
+) -> SessionResult:
+    """Sharded counterpart of :func:`run_coded_session` (any plan type).
+
+    ``shards=1`` is the in-process serial oracle; any ``shards=N``
+    produces a bit-identical :class:`SessionResult` and trace.  The
+    randomness comes from per-node streams, so results are a different
+    (equally valid) deterministic universe than the global-stream
+    serial drivers.
+    """
+    config = config or SessionConfig()
+    rng = rng or RngFactory(0)
+    decode_log = _DecodeLog()
+    delivery_log = _DeliveryLog()
+    unicast = isinstance(plan, UnicastPathPlan)
+    runtimes, label = build_plan_runtimes(
+        network,
+        plan,
+        session_id=session_id,
+        config=config,
+        rng=rng,
+        on_decoded=decode_log,
+        on_delivered=delivery_log,
+    )
+    if unicast:
+        slot = config.unicast_packet_bytes() / network.capacity
+        source, destination = plan.source, plan.destination
+    else:
+        slot = config.coded_packet_bytes() / network.capacity
+        source = plan.forwarders.source
+        destination = plan.forwarders.destination
+
+    ack_times: List[float] = []
+    delivered_count = [0]
+    pending_advance: List[Optional[int]] = [None]
+
+    def on_decoded(generation_id: int, ack_time: float) -> None:
+        ack_times.append(ack_time)
+        pending_advance[0] = generation_id + 1
+
+    def on_delivered(_sequence: int) -> None:
+        delivered_count[0] += 1
+
+    session = ShardedSession(
+        network,
+        runtimes,
+        slot,
+        rng_factory=rng,
+        shards=shards,
+        interference=config.interference,
+        tracer=tracer,
+        decode_log=decode_log,
+        delivery_log=delivery_log,
+        on_decoded=on_decoded,
+        on_delivered=on_delivered,
+        start_method=start_method,
+    )
+    max_slots = int(config.max_seconds / slot)
+    target = config.target_generations
+
+    def stop() -> bool:
+        if pending_advance[0] is not None:
+            session.broadcast_generation_advance(pending_advance[0])
+            pending_advance[0] = None
+        return target > 0 and len(ack_times) >= target
+
+    with session:
+        session.run(max_slots, stop_when=stop if not unicast else None)
+        stats = session.finalize_stats()
+
+    if unicast:
+        elapsed = stats.elapsed if stats.elapsed > 0 else 1.0
+        throughput = delivered_count[0] * config.block_size / elapsed
+        generations = 0
+        packets = delivered_count[0]
+    else:
+        generations = len(ack_times)
+        if ack_times:
+            throughput = generations * config.generation_bytes() / ack_times[-1]
+        else:
+            throughput = 0.0
+        packets = generations * config.blocks
+    return SessionResult(
+        protocol=protocol_label or label,
+        source=source,
+        destination=destination,
+        throughput_bps=throughput,
+        duration=stats.elapsed,
+        generations_decoded=generations,
+        packets_delivered=packets,
+        ack_times=tuple(ack_times) if not unicast else (),
+        average_queues={n: stats.average_queue(n) for n in runtimes},
+        transmissions=dict(stats.transmissions),
+        participants=tuple(sorted(runtimes)),
+        delivered_links=tuple(sorted(stats.delivered_links)),
+    )
+
+
+def session_digest(result: SessionResult) -> str:
+    """Canonical SHA-256 digest of a :class:`SessionResult`.
+
+    Floats are serialized through ``repr`` (shortest round-trip form),
+    so two results digest equal iff every field is bit-identical — the
+    shards=1 == shards=N oracle the tests and the CI smoke job assert.
+    """
+    import hashlib
+    import json
+
+    payload = {
+        "protocol": result.protocol,
+        "source": result.source,
+        "destination": result.destination,
+        "throughput_bps": repr(result.throughput_bps),
+        "duration": repr(result.duration),
+        "generations_decoded": result.generations_decoded,
+        "packets_delivered": result.packets_delivered,
+        "ack_times": [repr(t) for t in result.ack_times],
+        "average_queues": {
+            str(n): repr(result.average_queues[n])
+            for n in sorted(result.average_queues)
+        },
+        "transmissions": {
+            str(n): result.transmissions[n]
+            for n in sorted(result.transmissions)
+        },
+        "participants": list(result.participants),
+        "delivered_links": [list(link) for link in result.delivered_links],
+    }
+    blob = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()
+
+
+def trace_digest(tracer: SessionTracer) -> str:
+    """Canonical SHA-256 digest of a tracer's retained event sequence."""
+    import hashlib
+    import json
+
+    records = []
+    for event in tracer.events():
+        record = event.as_dict()
+        record["time"] = repr(event.time)  # full precision, not rounded
+        records.append(record)
+    blob = json.dumps(records, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -36,7 +36,12 @@ from repro.exec.job import (
     JobSpec,
     stable_hash,
 )
-from repro.exec.pool import WorkerPool, run_serial
+from repro.exec.pool import (
+    PersistentWorkerGroup,
+    WorkerCallError,
+    WorkerPool,
+    run_serial,
+)
 
 __all__ = [
     "CACHE_SCHEMA",
@@ -46,7 +51,9 @@ __all__ = [
     "JobOutcome",
     "JobResult",
     "JobSpec",
+    "PersistentWorkerGroup",
     "ResultCache",
+    "WorkerCallError",
     "WorkerPool",
     "add_execution_arguments",
     "apply_gf_backend",

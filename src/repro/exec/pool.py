@@ -33,7 +33,12 @@ from typing import Any, Callable, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro.exec.job import JobFailure, JobOutcome, JobResult, JobSpec
 
-__all__ = ["WorkerPool", "run_serial"]
+__all__ = [
+    "PersistentWorkerGroup",
+    "WorkerCallError",
+    "WorkerPool",
+    "run_serial",
+]
 
 #: Poll granularity (seconds) when no per-job timeout bounds the wait.
 _IDLE_TICK = 1.0
@@ -111,6 +116,191 @@ def run_serial(
     return outcomes
 
 
+def _persistent_worker_main(
+    conn: Connection, factory: Callable[[Any], Any], payload: Any
+) -> None:
+    """Stateful worker loop: build state once, dispatch method calls.
+
+    Unlike :func:`_worker_main` (one self-contained job per message),
+    this loop holds ``factory(payload)`` alive across messages — the
+    substrate for shard workers that keep per-node runtimes, RNG streams
+    and neighbor structures warm between slot barriers.  Each message is
+    ``(method, argument)``; the reply is ``("ok", value)`` or
+    ``("error", (type, message, traceback))``.  Crashes surface to the
+    parent as a pipe hangup, exactly like the stateless pool.
+    """
+    try:
+        state = factory(payload)
+    except Exception as error:
+        conn.send(
+            ("error", (type(error).__name__, str(error), traceback.format_exc()))
+        )
+        conn.close()
+        return
+    conn.send(("ok", None))
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            break
+        if message is None:
+            break
+        method, argument = message
+        try:
+            value = getattr(state, method)(argument)
+        except Exception as error:
+            conn.send(
+                (
+                    "error",
+                    (type(error).__name__, str(error), traceback.format_exc()),
+                )
+            )
+        else:
+            conn.send(("ok", value))
+    conn.close()
+
+
+class WorkerCallError(RuntimeError):
+    """A persistent worker raised (or died) while serving a call."""
+
+    def __init__(self, worker: int, method: str, detail: str) -> None:
+        super().__init__(
+            f"persistent worker {worker} failed during {method!r}: {detail}"
+        )
+        self.worker = worker
+        self.method = method
+        self.detail = detail
+
+
+class PersistentWorkerGroup:
+    """Long-lived stateful workers driven by method-dispatch calls.
+
+    Built by :meth:`WorkerPool.persistent`.  Where the pool assigns one
+    self-contained :class:`JobSpec` per message, the group initializes
+    each worker once with ``factory(payload)`` and then exchanges small
+    per-call messages against that warm state — the execution shape of
+    the sharded slot loop, whose per-slot barrier traffic (lottery keys,
+    boundary offers) is tiny next to the runtimes and neighbor
+    structures that stay resident in the worker.
+
+    Failure model: a worker that raises reports the exception (raised
+    here as :class:`WorkerCallError`); a worker that dies is detected by
+    pipe hangup and also raised — there is no retry, because shard state
+    is stateful and cannot be re-run from a message.
+    """
+
+    def __init__(
+        self,
+        factory: Callable[[Any], Any],
+        payloads: Sequence[Any],
+        *,
+        ctx: Any,
+    ) -> None:
+        if not payloads:
+            raise ValueError("at least one worker payload is required")
+        self._procs: List[Any] = []
+        self._conns: List[Connection] = []
+        self._closed = False
+        try:
+            for payload in payloads:
+                parent_conn, child_conn = ctx.Pipe()
+                process = ctx.Process(
+                    target=_persistent_worker_main,
+                    args=(child_conn, factory, payload),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._procs.append(process)
+                self._conns.append(parent_conn)
+            # Collect the init acks up front so a factory that raises
+            # fails construction, not the first call.
+            for index in range(len(self._conns)):
+                self._receive(index, "__init__")
+        except BaseException:
+            self.close()
+            raise
+
+    @property
+    def size(self) -> int:
+        """Number of live workers."""
+        return len(self._procs)
+
+    def call_all(
+        self, method: str, arguments: Optional[Sequence[Any]] = None
+    ) -> List[Any]:
+        """Invoke ``method`` on every worker; results in worker order.
+
+        ``arguments[i]`` goes to worker ``i`` (``None`` broadcasts
+        ``None`` to all).  All requests are written before any reply is
+        awaited, so workers execute the phase concurrently — one
+        pipelined barrier round-trip.
+        """
+        if self._closed:
+            raise RuntimeError("worker group is closed")
+        if arguments is None:
+            arguments = [None] * self.size
+        if len(arguments) != self.size:
+            raise ValueError(
+                f"expected {self.size} argument(s), got {len(arguments)}"
+            )
+        for conn, argument in zip(self._conns, arguments):
+            conn.send((method, argument))
+        return [self._receive(index, method) for index in range(self.size)]
+
+    def call_one(self, worker: int, method: str, argument: Any = None) -> Any:
+        """Invoke ``method`` on one worker and await its reply."""
+        if self._closed:
+            raise RuntimeError("worker group is closed")
+        self._conns[worker].send((method, argument))
+        return self._receive(worker, method)
+
+    def _receive(self, worker: int, method: str) -> Any:
+        try:
+            status, data = self._conns[worker].recv()
+        except (EOFError, OSError):
+            exitcode = self._procs[worker].exitcode
+            raise WorkerCallError(
+                worker, method, f"worker process died (exit code {exitcode})"
+            ) from None
+        if status == "error":
+            error, message, trace = data
+            raise WorkerCallError(
+                worker, method, f"{error}: {message}\n{trace}"
+            )
+        return data
+
+    def close(self) -> None:
+        """Shut every worker down; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
+        for conn in self._conns:
+            try:
+                conn.send(None)
+            except (BrokenPipeError, OSError):
+                pass
+        for process in self._procs:
+            process.join(_JOIN_GRACE)
+            if process.is_alive():
+                process.terminate()
+                process.join(_JOIN_GRACE)
+            if process.is_alive():  # pragma: no cover - hard stragglers
+                process.kill()
+                process.join(_JOIN_GRACE)
+        for conn in self._conns:
+            try:
+                conn.close()
+            except OSError:  # pragma: no cover
+                pass
+
+    def __enter__(self) -> "PersistentWorkerGroup":
+        return self
+
+    def __exit__(self, *_exc: Any) -> None:
+        self.close()
+
+
 @dataclass
 class _Worker:
     """One worker process and the job (if any) it currently holds."""
@@ -157,6 +347,18 @@ class WorkerPool:
     def workers(self) -> int:
         """Configured worker count."""
         return self._workers
+
+    def persistent(
+        self, factory: Callable[[Any], Any], payloads: Sequence[Any]
+    ) -> PersistentWorkerGroup:
+        """Spawn long-lived stateful workers sharing this pool's context.
+
+        One worker per payload; each holds ``factory(payload)`` alive
+        across calls.  Used by the sharded emulator to keep shard state
+        (runtimes, RNG streams, neighbor structures) resident between
+        slot barriers instead of shipping it with every job.
+        """
+        return PersistentWorkerGroup(factory, payloads, ctx=self._ctx)
 
     def run(
         self,

@@ -23,7 +23,7 @@ from typing import Dict, FrozenSet, Iterator, List, Optional, Tuple
 import networkx as nx
 import numpy as np
 
-from repro.topology.geometry import pairwise_distances
+from repro.topology.partition import SpatialGrid
 from repro.util.validation import check_positive
 
 Link = Tuple[int, int]
@@ -52,8 +52,13 @@ class WirelessNetwork:
         self._positions.setflags(write=False)
         self._range = float(communication_range)
         self._capacity = float(capacity)
-        self._distances = pairwise_distances(positions)
-        self._distances.setflags(write=False)
+        # Spatial bucket index instead of a dense n x n distance matrix:
+        # neighborhood construction and on-demand distances stay
+        # bit-identical to the former pairwise_distances path (same
+        # float64 expression per pair) but the build is O(n) for
+        # bounded-density deployments and 10k-node networks no longer
+        # carry an 800 MB matrix through every pickle.
+        self._grid = SpatialGrid(self._positions, self._range)
 
         self._p: Dict[Link, float] = {}
         tolerance = 1e-9 * self._range
@@ -61,28 +66,34 @@ class WirelessNetwork:
             self._validate_link(i, j, n)
             if not 0.0 < prob <= 1.0:
                 raise ValueError(f"link ({i},{j}) probability must be in (0,1], got {prob}")
-            if self._distances[i, j] > self._range + tolerance:
+            span = self.distance(i, j)
+            if span > self._range + tolerance:
                 raise ValueError(
-                    f"link ({i},{j}) spans {self._distances[i, j]:.3f}, "
+                    f"link ({i},{j}) spans {span:.3f}, "
                     f"beyond the communication range {self._range:.3f}"
                 )
             self._p[(i, j)] = float(prob)
 
         # Neighborhoods are purely geometric: within range, regardless of
         # whether the probability draw produced a usable link.  This is
-        # what the interference model keys on.
+        # what the interference model keys on.  The grid query yields ids
+        # in ascending order — the same insertion order the dense
+        # np.nonzero path used, so each frozenset lays out identically.
         self._neighbors: List[FrozenSet[int]] = []
         for i in range(n):
-            close = np.nonzero(
-                (self._distances[i] <= self._range) & (np.arange(n) != i)
-            )[0]
+            close, _ = self._grid.neighbors_within(i, self._range)
             self._neighbors.append(frozenset(int(j) for j in close))
 
+        out_lists: List[List[int]] = [[] for _ in range(n)]
+        in_lists: List[List[int]] = [[] for _ in range(n)]
+        for (a, j) in self._p:
+            out_lists[a].append(j)
+            in_lists[j].append(a)
         self._out_links: List[Tuple[int, ...]] = [
-            tuple(sorted(j for (a, j) in self._p if a == i)) for i in range(n)
+            tuple(sorted(members)) for members in out_lists
         ]
         self._in_links: List[Tuple[int, ...]] = [
-            tuple(sorted(a for (a, j) in self._p if j == i)) for i in range(n)
+            tuple(sorted(members)) for members in in_lists
         ]
 
     @staticmethod
@@ -120,8 +131,14 @@ class WirelessNetwork:
         return range(self.node_count)
 
     def distance(self, i: int, j: int) -> float:
-        """Euclidean distance between nodes ``i`` and ``j``."""
-        return float(self._distances[i, j])
+        """Euclidean distance between nodes ``i`` and ``j``.
+
+        Computed on demand with the same float64 expression as
+        :func:`repro.topology.geometry.pairwise_distances`, so the value
+        is bit-identical to the dense matrix entry it replaced.
+        """
+        deltas = self._positions[i] - self._positions[j]
+        return float(np.sqrt(np.sum(deltas * deltas, axis=-1)))
 
     # ------------------------------------------------------------------
     # Links and probabilities
@@ -199,16 +216,16 @@ class WirelessNetwork:
         within range of each other interfere — plus the shared-receiver
         extension used by its MAC constraint.
         """
-        shared: set = set()
-        for j in self.nodes():
-            if j == i:
-                continue
-            if j in self._neighbors[i]:
-                shared.add(j)
-                continue
-            if self._neighbors[i] & self._neighbors[j]:
-                shared.add(j)
-        return frozenset(shared)
+        # d(., .) is symmetric, so "N(i) and N(j) intersect" is exactly
+        # "j is a neighbor of some neighbor of i": the two-hop ball.
+        # O(deg^2) instead of the former full O(n) node scan.
+        shared: set = set(self._neighbors[i])
+        for k in self._neighbors[i]:
+            shared.update(self._neighbors[k])
+        shared.discard(i)
+        # Sorted insertion keeps the frozenset layout a deterministic
+        # function of the member set alone.
+        return frozenset(sorted(shared))
 
     def __repr__(self) -> str:
         return (

@@ -17,8 +17,9 @@ from typing import Dict, Optional, Tuple
 
 import numpy as np
 
-from repro.topology.geometry import area_for_density, pairwise_distances
+from repro.topology.geometry import area_for_density
 from repro.topology.graph import DEFAULT_CHANNEL_CAPACITY, Link, WirelessNetwork
+from repro.topology.partition import SpatialGrid
 from repro.topology.phy import EmpiricalPhyModel, lossy_phy
 from repro.util.rng import RngLike, as_rng
 from repro.util.validation import check_positive
@@ -77,18 +78,27 @@ def draw_link_probabilities(
     model, which may be power-scaled above it — reproducing the paper's
     high-power experiment where the topology stays fixed but link
     qualities rise.
+
+    In-range pairs are enumerated through a :class:`SpatialGrid` bucket
+    index — O(n) for bounded-density deployments instead of the former
+    dense O(n^2) ``pairwise_distances`` sweep — while preserving the
+    exact candidate order (for each ``i``, neighbors ``j`` ascending)
+    and bit-identical distance values, so the PHY model's RNG stream is
+    consumed identically and seeded topologies are unchanged.
     """
-    distances = pairwise_distances(positions)
+    grid = SpatialGrid(positions, communication_range)
     n = positions.shape[0]
     probabilities: Dict[Link, float] = {}
     for i in range(n):
-        for j in range(n):
-            if i == j or distances[i, j] > communication_range:
-                continue
+        neighbor_ids, distances = grid.neighbors_within(i, communication_range)
+        # Keep np.float64 spans: the PHY model received dense-matrix
+        # entries before, and identical operand types leave no room for
+        # representation drift in the drawn probabilities.
+        for j, span in zip(neighbor_ids.tolist(), distances):
             if symmetric and (j, i) in probabilities:
                 probabilities[(i, j)] = probabilities[(j, i)]
                 continue
-            prob = phy.link_probability(distances[i, j])
+            prob = phy.link_probability(span)
             if prob > 0.0:
                 probabilities[(i, j)] = prob
     return probabilities

@@ -104,3 +104,45 @@ class RngFactory:
 
     def __repr__(self) -> str:
         return f"RngFactory(seed={self._seed})"
+
+
+class NodeStreams:
+    """Lazily-derived per-(kind, node) generator bundle.
+
+    The sharded emulator (:mod:`repro.emulator.shard`) needs RNG
+    consumption to be *partition-independent*: a node must draw the same
+    values no matter which process hosts it or which other nodes share
+    its shard.  Global streams cannot provide that — the draw order
+    depends on who else transmits — so the engine's per-node mode pulls
+    every MAC lottery key, channel loss vector, and capture tie-break
+    from a stream owned by the node it concerns.
+
+    Streams are derived on first use from the factory via
+    ``derive(f"node-{kind}", node)``, so any process holding the same
+    :class:`RngFactory` seed reconstructs identical streams with no
+    state exchange.
+    """
+
+    #: Stream kinds the emulator consumes.
+    KINDS = ("mac", "channel", "capture")
+
+    def __init__(self, factory: RngFactory) -> None:
+        self._factory = factory
+        self._streams: dict[tuple[str, int], np.random.Generator] = {}
+
+    @property
+    def factory(self) -> RngFactory:
+        """The factory the per-node streams derive from."""
+        return self._factory
+
+    def get(self, kind: str, node: int) -> np.random.Generator:
+        """The generator for ``(kind, node)``; derived once, then cached."""
+        key = (kind, node)
+        stream = self._streams.get(key)
+        if stream is None:
+            if kind not in self.KINDS:
+                known = ", ".join(self.KINDS)
+                raise ValueError(f"unknown stream kind {kind!r} (known: {known})")
+            stream = self._factory.derive(f"node-{kind}", node)
+            self._streams[key] = stream
+        return stream

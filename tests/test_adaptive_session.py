@@ -292,3 +292,90 @@ class TestAdaptiveRuns:
         assert result.failed_replans >= 1
         assert result.replans == 0
         assert result.session.duration == pytest.approx(30.0, rel=0.01)
+
+
+class TestShardedHotSwap:
+    """Mid-run control-plane actions on a sharded session reproduce the
+    serial per-node-mode oracle bit for bit: set_network, plan updates,
+    structure rebuilds and idle stalls all land at slot barriers."""
+
+    def _swap_run(self, network, drifted, plan, shards):
+        from repro.emulator import shard as shard_mod
+
+        config = SessionConfig(max_seconds=40.0)
+        decode_log = shard_mod._DecodeLog()
+        runtimes, _ = build_plan_runtimes(
+            network,
+            plan,
+            config=config,
+            rng=RngFactory(21),
+            on_decoded=decode_log,
+        )
+        slot = config.coded_packet_bytes() / network.capacity
+        tracer = SessionTracer()
+        updates = {
+            plan.forwarders.source: {"rate_bps": 0.25 * network.capacity}
+        }
+        with shard_mod.ShardedSession(
+            network,
+            runtimes,
+            slot,
+            rng_factory=RngFactory(21),
+            shards=shards,
+            tracer=tracer,
+            decode_log=decode_log,
+        ) as session:
+            session.run(150)
+            session.set_network(drifted)
+            session.run(100)
+            session.apply_plan_updates(updates)
+            session.rebuild_runtime_structures()
+            session.advance_idle(7)
+            session.run(150)
+            stats = session.finalize_stats()
+        return stats, list(tracer.events())
+
+    def test_sharded_midrun_swaps_match_serial(self, net_pair):
+        from repro.topology.dynamics import perturb_link_qualities
+
+        network, source, destination = net_pair
+        plan = plan_omnc(network, source, destination)
+        drifted = perturb_link_qualities(
+            network, sigma=0.08, rng=RngFactory(33).derive("drift")
+        )
+        serial_stats, serial_events = self._swap_run(
+            network, drifted, plan, shards=1
+        )
+        sharded_stats, sharded_events = self._swap_run(
+            network, drifted, plan, shards=2
+        )
+        assert sharded_events == serial_events
+        assert sharded_stats.slots == serial_stats.slots
+        assert sharded_stats.elapsed == serial_stats.elapsed
+        assert sharded_stats.grants == serial_stats.grants
+        assert sharded_stats.transmissions == serial_stats.transmissions
+        assert sharded_stats.queue_time_sum == serial_stats.queue_time_sum
+        assert sharded_stats.delivered_links == serial_stats.delivered_links
+
+    def test_apply_plan_updates_rejects_unknown_nodes(self, net_pair):
+        from repro.emulator import shard as shard_mod
+
+        network, source, destination = net_pair
+        plan = plan_omnc(network, source, destination)
+        config = SessionConfig(max_seconds=10.0)
+        decode_log = shard_mod._DecodeLog()
+        runtimes, _ = build_plan_runtimes(
+            network, plan, config=config, rng=RngFactory(2),
+            on_decoded=decode_log,
+        )
+        slot = config.coded_packet_bytes() / network.capacity
+        with shard_mod.ShardedSession(
+            network,
+            runtimes,
+            slot,
+            rng_factory=RngFactory(2),
+            shards=2,
+            decode_log=decode_log,
+        ) as session:
+            with pytest.raises(KeyError, match="no runtimes"):
+                session.apply_plan_updates({10_000: {"rate_bps": 1.0}})

@@ -12,7 +12,9 @@ from repro.exec import (
     JobFailure,
     JobResult,
     JobSpec,
+    PersistentWorkerGroup,
     ResultCache,
+    WorkerCallError,
     WorkerPool,
     execute_jobs,
     run_serial,
@@ -53,6 +55,34 @@ def _specs(values, fn=_square):
         JobSpec(key=stable_hash({"fn": fn.__name__, "v": v}), fn=fn, payload=v)
         for v in values
     ]
+
+
+class _Counter:
+    """Stateful worker payload for PersistentWorkerGroup tests."""
+
+    def __init__(self, start):
+        self.value = start
+
+    def add(self, amount):
+        self.value += amount
+        return self.value
+
+    def get(self, _argument=None):
+        return self.value
+
+    def boom(self, _argument=None):
+        raise RuntimeError("counter exploded")
+
+    def die(self, _argument=None):
+        os._exit(13)
+
+
+def _counter_factory(payload):
+    return _Counter(payload)
+
+
+def _failing_factory(_payload):
+    raise ValueError("cannot build state")
 
 
 class TestStableHash:
@@ -291,3 +321,45 @@ class TestExecuteJobs:
         registry2 = obs.MetricsRegistry(enabled=True)
         execute_jobs(specs[:3], policy, registry=registry2)
         assert registry2.snapshot()["exec.cache_hits"]["value"] == 3
+
+
+class TestPersistentWorkerGroup:
+    """Long-lived stateful workers: the sharded emulator's substrate."""
+
+    def test_state_persists_across_barriers(self):
+        with WorkerPool(2).persistent(_counter_factory, [10, 100]) as group:
+            assert group.size == 2
+            assert group.call_all("add", [1, 2]) == [11, 102]
+            assert group.call_all("add", [1, 2]) == [12, 104]
+            assert group.call_all("get") == [12, 104]
+            assert group.call_one(1, "add", 6) == 110
+
+    def test_factory_error_fails_construction(self):
+        with pytest.raises(WorkerCallError, match="cannot build state"):
+            WorkerPool(1).persistent(_failing_factory, [0])
+
+    def test_method_exception_carries_traceback(self):
+        with WorkerPool(1).persistent(_counter_factory, [0]) as group:
+            with pytest.raises(WorkerCallError, match="counter exploded"):
+                group.call_all("boom")
+            # The worker survives an in-method exception.
+            assert group.call_all("get") == [0]
+
+    def test_worker_death_is_detected(self):
+        group = WorkerPool(1).persistent(_counter_factory, [0])
+        try:
+            with pytest.raises(WorkerCallError, match="died"):
+                group.call_all("die")
+        finally:
+            group.close()
+
+    def test_argument_count_must_match_workers(self):
+        with WorkerPool(2).persistent(_counter_factory, [0, 0]) as group:
+            with pytest.raises(ValueError, match="argument"):
+                group.call_all("add", [1])
+
+    def test_close_is_idempotent(self):
+        group = WorkerPool(1).persistent(_counter_factory, [5])
+        assert group.call_all("get") == [5]
+        group.close()
+        group.close()

@@ -88,6 +88,7 @@ def test_collect_marks_only_interpreter_bound_probes_advisory():
         "emulator_kslots_per_sec",
         "emulator_slot_loop",
         "optimizer_iters_per_sec",
+        "sharded_slot_loop",
     }
     hard = set(quick["metrics"]) - advisory
     assert {
@@ -131,6 +132,7 @@ def test_committed_baseline_has_both_modes_and_all_probes():
         "emulator_kslots_per_sec",
         "emulator_slot_loop",
         "optimizer_iters_per_sec",
+        "sharded_slot_loop",
     }
     for mode in ("quick", "full"):
         section = document["modes"][mode]
