@@ -6,6 +6,7 @@ for users who want the paper's numbers without writing Python:
 * ``fig1`` / ``fig2`` / ``fig3`` / ``fig4`` — regenerate a figure;
 * ``coding-speed`` / ``convergence`` — the two numeric claims;
 * ``session`` — plan and emulate one session of a chosen protocol;
+* ``multisession`` — plan and emulate N concurrent unicast sessions;
 * ``topology`` — generate and save a topology for later reuse;
 * ``lint`` — the determinism & invariant static-analysis pass.
 """
@@ -92,6 +93,13 @@ def _cmd_fig5(args: argparse.Namespace) -> int:
     from repro.experiments import fig5_adaptation
 
     fig5_adaptation.main(smoke=args.smoke, policy=policy_from_args(args))
+    return 0
+
+
+def _cmd_fig6(args: argparse.Namespace) -> int:
+    from repro.experiments import fig6_multisession
+
+    fig6_multisession.main(smoke=args.smoke, policy=policy_from_args(args))
     return 0
 
 
@@ -263,6 +271,112 @@ def _cmd_session(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_multisession(args: argparse.Namespace) -> int:
+    from repro.emulator.multisession import (
+        multi_session_digest,
+        run_multi_session,
+    )
+    from repro.experiments.fig6_multisession import fig6_endpoints
+    from repro.protocols.intersession import plan_intersession_pairs
+    from repro.protocols.omnc import plan_omnc_multi
+    from repro.scenario.spec import ScenarioEvent, ScenarioSpec
+
+    if args.sessions < 1:
+        raise SystemExit("multisession: --sessions must be >= 1")
+    if args.shards < 1:
+        raise SystemExit("multisession: --shards must be >= 1")
+    if args.churn and args.sessions < 2:
+        raise SystemExit("multisession: --churn needs --sessions >= 2")
+    rng = RngFactory(args.seed)
+    if args.topology:
+        network = load_network(args.topology)
+    else:
+        network = random_network(
+            args.nodes,
+            neighbors_per_node=args.density,
+            rng=rng.derive("topology"),
+        )
+    endpoints = fig6_endpoints(network, args.sessions)
+    session_ids = list(range(1, args.sessions + 1))
+    if args.protocol == "omnc":
+        plans = dict(
+            plan_omnc_multi(
+                network,
+                {sid: endpoints[sid - 1] for sid in session_ids},
+            ).plans
+        )
+    else:
+        plans = {
+            sid: plan_more(network, *endpoints[sid - 1])
+            for sid in session_ids
+        }
+    xor_pairs = plan_intersession_pairs(plans) if args.xor else None
+    scenario = None
+    if args.churn:
+        # The newest session arrives a third of the way in; the first
+        # session departs at two thirds.
+        scenario = ScenarioSpec(
+            name="churn",
+            duration=args.seconds,
+            epoch_seconds=args.seconds,
+            events=(
+                ScenarioEvent(
+                    at=args.seconds / 3,
+                    kind="session_arrive",
+                    session_id=session_ids[-1],
+                ),
+                ScenarioEvent(
+                    at=2 * args.seconds / 3,
+                    kind="session_depart",
+                    session_id=session_ids[0],
+                ),
+            ),
+        )
+    outcome = run_multi_session(
+        network,
+        plans,
+        shards=args.shards,
+        config=SessionConfig(
+            max_seconds=args.seconds,
+            target_generations=args.generations,
+            blocks=args.blocks,
+            block_size=args.block_size,
+        ),
+        rng=rng.spawn("multisession"),
+        xor_pairs=xor_pairs,
+        scenario=scenario,
+        protocol_label=args.protocol,
+    )
+    print(
+        f"{args.protocol} x{args.sessions} sessions on "
+        f"{network.node_count} nodes:"
+    )
+    for sid in sorted(outcome.sessions):
+        result = outcome.sessions[sid]
+        print(
+            f"  session {sid}: {result.source} -> {result.destination}  "
+            f"{result.throughput_bps:8.0f} B/s  "
+            f"{result.generations_decoded} generations"
+        )
+    print(f"  duration:    {outcome.duration:.1f} s emulated")
+    print(f"  aggregate:   {outcome.aggregate_throughput_bps:.0f} B/s")
+    print(f"  fairness:    {outcome.fairness:.4f} (Jain)")
+    print(f"  airtime:     {outcome.transmissions} transmissions")
+    if args.xor:
+        print(f"  xor slots:   {outcome.xor_transmissions}")
+    if scenario is not None:
+        arrivals = ", ".join(
+            f"{sid}@{at:.1f}s" for at, sid in outcome.arrivals
+        )
+        departures = ", ".join(
+            f"{sid}@{at:.1f}s" for at, sid in outcome.departures
+        )
+        print(f"  arrivals:    {arrivals or 'none'}")
+        print(f"  departures:  {departures or 'none'}")
+    print(f"  digest:      {multi_session_digest(outcome)}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI's argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -293,6 +407,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_execution_arguments(fig5)
     fig5.set_defaults(func=_cmd_fig5)
+    fig6 = sub.add_parser(
+        "fig6",
+        help="Fig. 6 (extension): concurrent unicasts, fairness, XOR relay",
+    )
+    fig6.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (~seconds)"
+    )
+    add_execution_arguments(fig6)
+    fig6.set_defaults(func=_cmd_fig6)
     sub.add_parser(
         "coding-speed", help="accelerated vs baseline codec"
     ).set_defaults(func=_cmd_coding_speed)
@@ -362,6 +485,63 @@ def build_parser() -> argparse.ArgumentParser:
         "or 'best'; default: numpy reference, or OMNC_GF_BACKEND)",
     )
     session.set_defaults(func=_cmd_session)
+
+    multisession = sub.add_parser(
+        "multisession", help="plan + emulate N concurrent unicast sessions"
+    )
+    multisession.add_argument(
+        "--sessions", type=int, default=3, metavar="N",
+        help="number of concurrent unicast sessions (default 3)",
+    )
+    multisession.add_argument(
+        "--protocol",
+        choices=("omnc", "more"),
+        default="omnc",
+        help="omnc = joint proportional-fair planning; more = per-flow "
+        "MORE heuristics (default omnc)",
+    )
+    multisession.add_argument(
+        "--topology", help="JSON topology file (else random)"
+    )
+    multisession.add_argument("--nodes", type=int, default=24)
+    multisession.add_argument(
+        "--density", type=float, default=9.0,
+        help="average in-range neighbors for the random topology "
+        "(default 9)",
+    )
+    multisession.add_argument("--seconds", type=float, default=30.0)
+    multisession.add_argument(
+        "--generations", type=int, default=0,
+        help="stop once every session decodes this many generations "
+        "(0 = run the full --seconds; default 0)",
+    )
+    multisession.add_argument("--seed", type=int, default=2008)
+    multisession.add_argument(
+        "--blocks", type=int, default=8,
+        help="packets per generation (default 8 — small generations so "
+        "short contended runs still complete some)",
+    )
+    multisession.add_argument(
+        "--block-size", type=int, default=256,
+        help="payload bytes per packet (default 256)",
+    )
+    multisession.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="run the sharded slot loop over N worker processes "
+        "(1 = in-process serial; default 1)",
+    )
+    multisession.add_argument(
+        "--xor",
+        action="store_true",
+        help="enable inter-session XOR relaying at eligible shared relays",
+    )
+    multisession.add_argument(
+        "--churn",
+        action="store_true",
+        help="exercise session churn: the last session arrives at 1/3 of "
+        "the run, the first departs at 2/3",
+    )
+    multisession.set_defaults(func=_cmd_multisession)
 
     lint = sub.add_parser(
         "lint",

@@ -16,12 +16,20 @@ innovation checks) over simulated lower layers:
 
 from repro.emulator.channel import LossyBroadcastChannel
 from repro.emulator.engine import EmulationEngine, EngineStats
+from repro.emulator.multisession import (
+    InterSessionXorRelay,
+    MultiSessionOutcome,
+    multi_session_digest,
+    run_multi_session,
+)
 from repro.emulator.node import (
     CodedDestinationRuntime,
     CodedRelayRuntime,
     CodedSourceRuntime,
+    MultiSessionNodeRuntime,
     NodeRuntime,
     UnicastRuntime,
+    XorPacket,
 )
 from repro.emulator.scheduler import ConflictGraph, IdealMacScheduler
 from repro.emulator.session import (
@@ -42,6 +50,7 @@ from repro.emulator.stats import (
     UtilityRatios,
     ascii_cdf,
     count_dag_paths,
+    jain_fairness_index,
     summarize,
     throughput_gain,
     utility_ratios,
@@ -56,7 +65,10 @@ __all__ = [
     "EmulationEngine",
     "EngineStats",
     "IdealMacScheduler",
+    "InterSessionXorRelay",
     "LossyBroadcastChannel",
+    "MultiSessionNodeRuntime",
+    "MultiSessionOutcome",
     "NodeRuntime",
     "SessionConfig",
     "SessionResult",
@@ -65,9 +77,13 @@ __all__ = [
     "TraceEvent",
     "UnicastRuntime",
     "UtilityRatios",
+    "XorPacket",
     "ascii_cdf",
     "count_dag_paths",
+    "jain_fairness_index",
+    "multi_session_digest",
     "run_coded_session",
+    "run_multi_session",
     "run_sharded_session",
     "run_unicast_session",
     "session_digest",

@@ -523,3 +523,52 @@ class EmulationEngine:
             )
         for runtime in self._runtimes.values():
             runtime.advance_generation(generation_id)
+
+    def broadcast_session_generation_advance(
+        self, session_id: int, generation_id: int
+    ) -> None:
+        """Per-session ACK propagation for multi-session runs.
+
+        Same modelling as :meth:`broadcast_generation_advance` (fast,
+        reliable, applied at the slot boundary), but scoped to one
+        session of the composite runtimes; other sessions' generation
+        state is untouched.  ``peer`` carries the session id in the
+        trace so digests distinguish concurrent ACKs.
+        """
+        if self._tracer is not None:
+            self._tracer.record(
+                self._stats.slots,
+                self._stats.elapsed,
+                "ack",
+                -1,
+                peer=session_id,
+                detail=generation_id,
+            )
+        for runtime in self._runtimes.values():
+            runtime.advance_session_generation(session_id, generation_id)
+
+    def broadcast_session_arrival(self, session_id: int) -> None:
+        """Switch a dormant session live on every hosting runtime."""
+        if self._tracer is not None:
+            self._tracer.record(
+                self._stats.slots,
+                self._stats.elapsed,
+                "arrive",
+                -1,
+                peer=session_id,
+            )
+        for runtime in self._runtimes.values():
+            runtime.activate_session(session_id)
+
+    def broadcast_session_departure(self, session_id: int) -> None:
+        """Remove a session from airtime contention on every runtime."""
+        if self._tracer is not None:
+            self._tracer.record(
+                self._stats.slots,
+                self._stats.elapsed,
+                "depart",
+                -1,
+                peer=session_id,
+            )
+        for runtime in self._runtimes.values():
+            runtime.deactivate_session(session_id)

@@ -23,7 +23,7 @@ examples demonstrate full-payload operation end-to-end.
 from __future__ import annotations
 
 from collections import deque
-from typing import Callable, Deque, Sequence, Tuple, TypeAlias
+from typing import Callable, Deque, Dict, List, Sequence, Tuple, TypeAlias
 
 import numpy as np
 
@@ -36,7 +36,7 @@ from repro.coding.packet import CodedPacket
 #: parameters to their own family's type; a session only ever wires
 #: matching families together, so the narrowing is safe (marked with
 #: ``type: ignore[override]`` at each override).
-Packet: TypeAlias = "CodedPacket | FlowPacket"
+Packet: TypeAlias = "CodedPacket | FlowPacket | XorPacket"
 
 DEFAULT_QUEUE_LIMIT = 500
 
@@ -100,6 +100,23 @@ class NodeRuntime:
 
     def advance_generation(self, generation_id: int) -> None:
         """React to the session moving to ``generation_id`` (ACK heard)."""
+
+    def advance_session_generation(
+        self, session_id: int, generation_id: int
+    ) -> None:
+        """Per-session generation advance (multi-session composites).
+
+        Single-session runtimes ignore it: they only ever host one
+        session and take :meth:`advance_generation` instead.  The
+        uniform no-op keeps the engine/shard dispatch free of
+        ``isinstance`` checks.
+        """
+
+    def activate_session(self, session_id: int) -> None:
+        """A session arrived (multi-session composites; no-op otherwise)."""
+
+    def deactivate_session(self, session_id: int) -> None:
+        """A session departed (multi-session composites; no-op otherwise)."""
 
 
 class CodedSourceRuntime(NodeRuntime):
@@ -846,3 +863,272 @@ class UnicastRuntime(NodeRuntime):
 
     def queue_length(self) -> int:
         return len(self._queue)
+
+
+class XorPacket:
+    """An inter-session XOR of packets from distinct sessions (I²NC/COPE).
+
+    A relay holding queued packets for two sessions can serve both in
+    one airtime slot by XORing them together.  A receiver peels out the
+    component of session ``s`` iff it participates in ``s`` and natively
+    knows every *other* component — in this emulator, iff it hosts the
+    source runtime of each other component's session (a source knows
+    every packet it ever injected).  Components ride along unmodified;
+    the XOR is structural, so intra-session coding semantics (innovation,
+    rank, flow content) are untouched.
+    """
+
+    __slots__ = ("components",)
+
+    #: Sentinel: an XOR packet belongs to no single session.
+    session_id = -1
+
+    def __init__(self, components: Sequence[CodedPacket | FlowPacket]) -> None:
+        ordered = tuple(sorted(components, key=lambda p: p.session_id))
+        if len(ordered) < 2:
+            raise ValueError("an XOR packet needs at least two components")
+        sids = [packet.session_id for packet in ordered]
+        if len(set(sids)) != len(sids):
+            raise ValueError("XOR components must come from distinct sessions")
+        self.components = ordered
+
+    @property
+    def session_ids(self) -> Tuple[int, ...]:
+        """Component session ids, ascending."""
+        return tuple(packet.session_id for packet in self.components)
+
+    def __repr__(self) -> str:
+        return f"XorPacket(sessions={self.session_ids})"
+
+
+class MultiSessionNodeRuntime(NodeRuntime):
+    """Composite hosting one sub-runtime per session at a shared node.
+
+    The engine still sees exactly one runtime per node; the composite
+    fans its callbacks out to per-session sub-runtimes and arbitrates
+    the node's single radio between them:
+
+    * **scheduling** — ``backlog``/``demand_rate`` sum over *active*
+      sessions, so the shared MAC sees the node's total pressure;
+    * **transmission** — ``pop_transmission`` round-robins over active
+      sessions with queued packets (deterministic: ascending session
+      order with a cursor that resets on churn);
+    * **reception** — packets route to their session's sub-runtime;
+      packets for unhosted or dormant sessions drop on the floor, and
+      :class:`XorPacket` components peel per the COPE rule;
+    * **churn** — scenario-arriving sessions are created up front but
+      *dormant*, switched live by ``activate_session`` /
+      ``deactivate_session``.  Participants therefore never change
+      mid-run, which keeps conflict structures static and the sharded
+      loop bit-identical to the serial one.
+
+    Per-session stats (transmissions, queue-time integral, delivered
+    links) accrue at the composite and survive departure.  The queue
+    integral samples at slot *start* (inside ``on_slot``, after the
+    sub-runtime's own tick), unlike the engine's end-of-slot global
+    sample — a deterministic convention shared by both execution paths.
+    """
+
+    def __init__(self, node_id: int) -> None:
+        super().__init__(node_id)
+        self._subs: Dict[int, NodeRuntime] = {}
+        self._dormant: Dict[int, NodeRuntime] = {}
+        self._order: List[int] = []
+        self._cursor = 0
+        self._session_transmissions: Dict[int, int] = {}
+        self._session_queue_time: Dict[int, float] = {}
+        self._session_delivered: Dict[int, set[Tuple[int, int]]] = {}
+        #: Airtime slots that carried an inter-session XOR (subclasses).
+        self.xor_transmissions = 0
+
+    def add_session(
+        self, session_id: int, runtime: NodeRuntime, *, active: bool = True
+    ) -> None:
+        """Attach ``runtime`` as this node's data plane for one session."""
+        if session_id in self._subs or session_id in self._dormant:
+            raise ValueError(
+                f"session {session_id} already hosted at node {self.node_id}"
+            )
+        if runtime.node_id != self.node_id:
+            raise ValueError(
+                f"sub-runtime for node {runtime.node_id} cannot live at "
+                f"node {self.node_id}"
+            )
+        if active:
+            self._subs[session_id] = runtime
+            self._rebuild_order()
+        else:
+            self._dormant[session_id] = runtime
+        self._session_transmissions.setdefault(session_id, 0)
+        self._session_queue_time.setdefault(session_id, 0.0)
+        self._session_delivered.setdefault(session_id, set())
+
+    def _rebuild_order(self) -> None:
+        self._order = sorted(self._subs)
+        self._cursor = 0
+
+    def hosted_sessions(self) -> Tuple[int, ...]:
+        """All sessions with a sub-runtime here (active and dormant)."""
+        return tuple(sorted([*self._subs, *self._dormant]))
+
+    def active_sessions(self) -> Tuple[int, ...]:
+        """Sessions currently contending for this node's airtime."""
+        return tuple(self._order)
+
+    def session_runtime(self, session_id: int) -> NodeRuntime:
+        """The sub-runtime for ``session_id`` (KeyError if unhosted)."""
+        runtime = self._subs.get(session_id) or self._dormant.get(session_id)
+        if runtime is None:
+            raise KeyError(session_id)
+        return runtime
+
+    def activate_session(self, session_id: int) -> None:
+        runtime = self._dormant.pop(session_id, None)
+        if runtime is None:
+            return
+        self._subs[session_id] = runtime
+        self._rebuild_order()
+
+    def deactivate_session(self, session_id: int) -> None:
+        runtime = self._subs.pop(session_id, None)
+        if runtime is None:
+            return
+        self._dormant[session_id] = runtime
+        self._rebuild_order()
+
+    def on_slot(self, dt: float) -> None:
+        for sid in self._order:
+            sub = self._subs[sid]
+            sub.on_slot(dt)
+            self._session_queue_time[sid] += sub.queue_length() * dt
+
+    def backlog(self) -> float:
+        return sum(self._subs[sid].backlog() for sid in self._order)
+
+    def demand_rate(self, dt: float) -> float:
+        return sum(self._subs[sid].demand_rate(dt) for sid in self._order)
+
+    def queue_length(self) -> int:
+        return sum(self._subs[sid].queue_length() for sid in self._order)
+
+    def pop_transmission(self) -> Packet | None:
+        count = len(self._order)
+        for offset in range(count):
+            index = (self._cursor + offset) % count
+            sid = self._order[index]
+            packet = self._subs[sid].pop_transmission()
+            if packet is not None:
+                self._cursor = (index + 1) % count
+                self._session_transmissions[sid] += 1
+                return packet
+        return None
+
+    def on_receive(self, packet: Packet, sender: int) -> None:
+        if isinstance(packet, XorPacket):
+            self._receive_xor(packet, sender)
+            return
+        sub = self._subs.get(packet.session_id)
+        if sub is None:
+            return  # unhosted or dormant session: not ours to hear
+        sub.on_receive(packet, sender)
+        self._session_delivered[packet.session_id].add((sender, self.node_id))
+
+    def _receive_xor(self, packet: XorPacket, sender: int) -> None:
+        for component in packet.components:
+            sid = component.session_id
+            sub = self._subs.get(sid)
+            if sub is None:
+                continue
+            if not self._knows_other_components(packet, sid):
+                continue
+            sub.on_receive(component, sender)
+            self._session_delivered[sid].add((sender, self.node_id))
+
+    def _knows_other_components(
+        self, packet: XorPacket, session_id: int
+    ) -> bool:
+        # COPE's decodability rule, specialized: the node natively knows
+        # a component iff it hosts that session's source runtime.
+        for component in packet.components:
+            other = component.session_id
+            if other == session_id:
+                continue
+            runtime = self._subs.get(other) or self._dormant.get(other)
+            if not isinstance(
+                runtime, (CodedSourceRuntime, FlowSourceRuntime)
+            ):
+                return False
+        return True
+
+    def advance_generation(self, generation_id: int) -> None:
+        raise RuntimeError(
+            "multi-session composites take advance_session_generation, not "
+            "the single-session advance_generation broadcast"
+        )
+
+    def advance_session_generation(
+        self, session_id: int, generation_id: int
+    ) -> None:
+        runtime = self._subs.get(session_id) or self._dormant.get(session_id)
+        if runtime is not None:
+            runtime.advance_generation(generation_id)
+
+    def session_stats(self) -> Dict[int, Dict[str, object]]:
+        """Per-session composite stats, picklable for shard harvesting."""
+        stats: Dict[int, Dict[str, object]] = {}
+        for sid in sorted(self._session_transmissions):
+            stats[sid] = {
+                "transmissions": self._session_transmissions[sid],
+                "queue_time": self._session_queue_time[sid],
+                "delivered_links": sorted(self._session_delivered[sid]),
+            }
+        return stats
+
+
+class InterSessionXorRelay(MultiSessionNodeRuntime):
+    """A composite relay that codes *across* sessions (COPE/I²NC style).
+
+    ``pairs`` lists session pairs this relay may XOR (the control plane
+    — :func:`repro.protocols.intersession.plan_intersession_pairs` —
+    only nominates pairs whose next hops can decode).  On each granted
+    slot the relay first tries its pairs in canonical order: if both
+    sessions of a pair are active with queued packets, it pops one from
+    each and sends a single :class:`XorPacket` — two packets of
+    progress for one slot of airtime.  Otherwise it falls back to the
+    plain round-robin (intra-session RLNC only).
+    """
+
+    def __init__(
+        self, node_id: int, pairs: Sequence[Tuple[int, int]]
+    ) -> None:
+        super().__init__(node_id)
+        normalized: Dict[Tuple[int, int], None] = {}
+        for a, b in pairs:
+            if a == b:
+                raise ValueError(f"cannot XOR session {a} with itself")
+            normalized[(min(a, b), max(a, b))] = None
+        self._pairs: Tuple[Tuple[int, int], ...] = tuple(sorted(normalized))
+
+    @property
+    def pairs(self) -> Tuple[Tuple[int, int], ...]:
+        """Session pairs this relay may XOR, canonically ordered."""
+        return self._pairs
+
+    def pop_transmission(self) -> Packet | None:
+        for a, b in self._pairs:
+            sub_a = self._subs.get(a)
+            sub_b = self._subs.get(b)
+            if sub_a is None or sub_b is None:
+                continue  # one side dormant or departed
+            if sub_a.queue_length() == 0 or sub_b.queue_length() == 0:
+                continue
+            packet_a = sub_a.pop_transmission()
+            packet_b = sub_b.pop_transmission()
+            assert packet_a is not None and packet_b is not None
+            assert not isinstance(packet_a, XorPacket)
+            assert not isinstance(packet_b, XorPacket)
+            self._session_transmissions[a] += 1
+            self._session_transmissions[b] += 1
+            self.xor_transmissions += 1
+            return XorPacket((packet_a, packet_b))
+        return super().pop_transmission()

@@ -49,7 +49,11 @@ from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.emulator.channel import LossyBroadcastChannel
 from repro.emulator.engine import EmulationEngine, EngineStats
-from repro.emulator.node import NodeRuntime, UnicastRuntime
+from repro.emulator.node import (
+    MultiSessionNodeRuntime,
+    NodeRuntime,
+    UnicastRuntime,
+)
 from repro.emulator.scheduler import ConflictGraph, IdealMacScheduler
 from repro.emulator.session import (
     SessionConfig,
@@ -87,20 +91,41 @@ class _DecodeLog:
     callback straight into session-driver closures, which cannot cross a
     process boundary.  This recorder can: it rides inside the runtime
     pickle shipped to the owning shard (pickling one ``ShardInit``
-    preserves the shared reference), accumulates generation ids, and is
-    drained at each resolve barrier.
+    preserves the shared reference), accumulates decode events, and is
+    drained at each resolve barrier.  Single-session destinations append
+    bare generation ids; multi-session destinations append
+    ``(session_id, generation_id)`` tuples via
+    :class:`_SessionDecodeAdapter`.
     """
 
     def __init__(self) -> None:
-        self.events: List[int] = []
+        self.events: List[Any] = []
 
     def __call__(self, generation_id: int) -> None:
         self.events.append(generation_id)
 
-    def drain(self) -> List[int]:
+    def drain(self) -> List[Any]:
         drained = self.events
         self.events = []
         return drained
+
+
+class _SessionDecodeAdapter:
+    """Session-tagging shim between a destination and the shared log.
+
+    One adapter per session wraps the session's ``on_decoded`` seam so
+    concurrent destinations funnel into a single :class:`_DecodeLog`
+    without losing who decoded.  Pickling a ``ShardInit`` keeps the
+    shared-log reference intact (pickle memoises object identity within
+    one payload).
+    """
+
+    def __init__(self, log: _DecodeLog, session_id: int) -> None:
+        self._log = log
+        self._session_id = session_id
+
+    def __call__(self, generation_id: int) -> None:
+        self._log.events.append((self._session_id, generation_id))
 
 
 class _DeliveryLog:
@@ -213,16 +238,36 @@ class ShardWorker:
 
     # -- barrier phases ------------------------------------------------
 
-    def begin_slot(self, advance: Optional[int]) -> List[Tuple[float, int]]:
-        """Apply a deferred generation advance, tick clocks, draw keys.
+    def begin_slot(self, events: Optional[List[Any]]) -> List[Tuple[float, int]]:
+        """Apply deferred control events, tick clocks, draw lottery keys.
 
-        Returns ``(key, node)`` lottery entries for owned contenders;
-        the parent merges all shards' entries into the global greedy
-        MIS pass.
+        ``events`` holds the control signals the parent queued since the
+        previous slot, in arrival order: a bare ``int`` is the legacy
+        single-session generation advance; ``("advance", sid, gen)``,
+        ``("arrive", sid)`` and ``("depart", sid)`` are the per-session
+        forms.  The serial oracle applies the same signals immediately
+        after the previous ``step`` — the identical point in
+        runtime-state time, since nothing touches the data plane between
+        slots.  Returns ``(key, node)`` lottery entries for owned
+        contenders; the parent merges all shards' entries into the
+        global greedy MIS pass.
         """
-        if advance is not None:
-            for runtime in self._runtimes.values():
-                runtime.advance_generation(advance)
+        if events is not None:
+            for event in events:
+                if isinstance(event, int):
+                    for runtime in self._runtimes.values():
+                        runtime.advance_generation(event)
+                elif event[0] == "advance":
+                    for runtime in self._runtimes.values():
+                        runtime.advance_session_generation(event[1], event[2])
+                elif event[0] == "arrive":
+                    for runtime in self._runtimes.values():
+                        runtime.activate_session(event[1])
+                elif event[0] == "depart":
+                    for runtime in self._runtimes.values():
+                        runtime.deactivate_session(event[1])
+                else:
+                    raise ValueError(f"unknown control event {event!r}")
         dt = self._dt
         floor = IdealMacScheduler.WEIGHT_FLOOR
         keyed: List[Tuple[float, int]] = []
@@ -407,6 +452,20 @@ class ShardWorker:
             "delivered_links": sorted(self._delivered_links),
         }
 
+    def session_stats(
+        self, _argument: Optional[int] = None
+    ) -> Dict[int, Dict[str, Any]]:
+        """Per-session composite stats for owned multi-session nodes."""
+        stats: Dict[int, Dict[str, Any]] = {}
+        for node in self._owned:
+            runtime = self._runtimes[node]
+            if isinstance(runtime, MultiSessionNodeRuntime):
+                stats[node] = {
+                    "sessions": runtime.session_stats(),
+                    "xor_transmissions": runtime.xor_transmissions,
+                }
+        return stats
+
 
 class ShardedSession:
     """Parent-side driver of one sharded (or serial-oracle) session.
@@ -431,7 +490,7 @@ class ShardedSession:
         tracer: SessionTracer | None = None,
         decode_log: _DecodeLog | None = None,
         delivery_log: _DeliveryLog | None = None,
-        on_decoded: Callable[[int, float], None] | None = None,
+        on_decoded: Callable[[Any, float], None] | None = None,
         on_delivered: Callable[[int], None] | None = None,
         start_method: str | None = None,
     ) -> None:
@@ -455,7 +514,7 @@ class ShardedSession:
         self._has_unicast = any(
             isinstance(r, UnicastRuntime) for r in runtimes.values()
         )
-        self._pending_advance: Optional[int] = None
+        self._pending_events: List[Any] = []
         self._slots = 0
         self._elapsed = 0.0
         self._grants = 0
@@ -573,9 +632,9 @@ class ShardedSession:
         group = self._group
         assert group is not None
         shards = self._shards
-        advance = self._pending_advance
-        self._pending_advance = None
-        keyed_lists = group.call_all("begin_slot", [advance] * shards)
+        events = self._pending_events if self._pending_events else None
+        self._pending_events = []
+        keyed_lists = group.call_all("begin_slot", [events] * shards)
         positions = self._positions
         keyed = sorted(
             (key, positions[node])
@@ -667,9 +726,9 @@ class ShardedSession:
             if self._on_delivered is not None:
                 self._on_delivered(sequence)
 
-    def _handle_decoded(self, generation_id: int) -> None:
+    def _handle_decoded(self, event: Any) -> None:
         if self._on_decoded is not None:
-            self._on_decoded(generation_id, self._elapsed)
+            self._on_decoded(event, self._elapsed)
 
     def broadcast_generation_advance(self, generation_id: int) -> None:
         """Propagate the ACK/next-generation signal to every runtime.
@@ -686,7 +745,54 @@ class ShardedSession:
             self._tracer.record(
                 self._slots, self._elapsed, "ack", -1, detail=generation_id
             )
-        self._pending_advance = generation_id
+        self._pending_events.append(generation_id)
+
+    def broadcast_session_generation_advance(
+        self, session_id: int, generation_id: int
+    ) -> None:
+        """Per-session ACK propagation (multi-session runs).
+
+        Serial oracle: applied immediately via the engine.  Sharded:
+        traced now, applied at the next ``begin_slot`` barrier in queue
+        order — the same runtime-state point in both modes.
+        """
+        if self._engine is not None:
+            self._engine.broadcast_session_generation_advance(
+                session_id, generation_id
+            )
+            return
+        if self._tracer is not None:
+            self._tracer.record(
+                self._slots,
+                self._elapsed,
+                "ack",
+                -1,
+                peer=session_id,
+                detail=generation_id,
+            )
+        self._pending_events.append(("advance", session_id, generation_id))
+
+    def broadcast_session_arrival(self, session_id: int) -> None:
+        """Switch a dormant session live on every hosting runtime."""
+        if self._engine is not None:
+            self._engine.broadcast_session_arrival(session_id)
+            return
+        if self._tracer is not None:
+            self._tracer.record(
+                self._slots, self._elapsed, "arrive", -1, peer=session_id
+            )
+        self._pending_events.append(("arrive", session_id))
+
+    def broadcast_session_departure(self, session_id: int) -> None:
+        """Remove a session from airtime contention on every runtime."""
+        if self._engine is not None:
+            self._engine.broadcast_session_departure(session_id)
+            return
+        if self._tracer is not None:
+            self._tracer.record(
+                self._slots, self._elapsed, "depart", -1, peer=session_id
+            )
+        self._pending_events.append(("depart", session_id))
 
     # -- control plane -------------------------------------------------
 
@@ -768,6 +874,30 @@ class ShardedSession:
                 (int(i), int(j)) for i, j in reply["delivered_links"]
             )
         return merged
+
+    def collect_session_stats(self) -> Dict[int, Dict[str, Any]]:
+        """Per-node composite stats (multi-session runs).
+
+        Each entry holds ``{"sessions": {sid: {...}}, "xor_transmissions":
+        int}``.  The serial oracle reads the composites directly; sharded
+        mode harvests each node's stats from its owning worker.  Nodes
+        whose runtime is not a :class:`MultiSessionNodeRuntime` are
+        absent.
+        """
+        if self._engine is not None:
+            stats: Dict[int, Dict[str, Any]] = {}
+            for node, runtime in self._runtimes.items():
+                if isinstance(runtime, MultiSessionNodeRuntime):
+                    stats[node] = {
+                        "sessions": runtime.session_stats(),
+                        "xor_transmissions": runtime.xor_transmissions,
+                    }
+            return stats
+        assert self._group is not None
+        merged_stats: Dict[int, Dict[str, Any]] = {}
+        for reply in self._group.call_all("session_stats"):
+            merged_stats.update(reply)
+        return merged_stats
 
     def close(self) -> None:
         """Shut the worker group down (idempotent)."""

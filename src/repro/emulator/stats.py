@@ -179,6 +179,29 @@ def summarize(values: Sequence[float]) -> DistributionSummary:
     )
 
 
+def jain_fairness_index(values: Sequence[float]) -> float:
+    """Jain's fairness index ``(sum x)^2 / (n * sum x^2)``.
+
+    The canonical fairness metric for the multi-session figures: 1.0
+    when every session gets the same throughput, approaching ``1/n``
+    when one session starves the rest.  Conventions:
+
+    * an empty sequence has no sessions to be unfair to — returns 0.0;
+    * all-zero allocations are (degenerately) perfectly fair — 1.0;
+    * negative values are rejected (throughputs are non-negative).
+    """
+    data = [float(v) for v in values]
+    if any(v < 0.0 for v in data):
+        raise ValueError("jain_fairness_index requires non-negative values")
+    if not data:
+        return 0.0
+    square_sum = sum(v * v for v in data)
+    if square_sum == 0.0:  # repro: ignore[RPR004] exact all-zero sentinel
+        return 1.0
+    total = sum(data)
+    return (total * total) / (len(data) * square_sum)
+
+
 def ascii_cdf(
     summary: DistributionSummary,
     *,

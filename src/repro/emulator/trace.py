@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Dict, Iterator, Tuple
 
-EVENT_KINDS = ("grant", "tx", "delivery", "ack", "replan")
+EVENT_KINDS = ("grant", "tx", "delivery", "ack", "replan", "arrive", "depart")
 
 
 @dataclass(frozen=True)

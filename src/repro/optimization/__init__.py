@@ -15,6 +15,13 @@
   extension sketched in the paper's conclusion.
 """
 
+from repro.optimization.multi_session import (
+    MultiSessionRateControl,
+    MultiSessionResult,
+    MultiSunicastSolution,
+    solve_multi_sunicast,
+    solve_multi_sunicast_detailed,
+)
 from repro.optimization.problem import (
     SessionGraph,
     session_graph_from_network,
@@ -26,6 +33,7 @@ from repro.optimization.rate_control import (
     RateControlDuals,
     RateControlResult,
     feasible_scaling,
+    multi_feasible_scaling,
 )
 from repro.optimization.sub1_routing import Sub1Iterate, Sub1Router
 from repro.optimization.sub2_rates import Sub2Iterate, Sub2RateAllocator
@@ -48,6 +56,9 @@ __all__ = [
     "ConstantStepSize",
     "DiminishingStepSize",
     "InfeasibleSessionError",
+    "MultiSessionRateControl",
+    "MultiSessionResult",
+    "MultiSunicastSolution",
     "RateControlAlgorithm",
     "RateControlConfig",
     "RateControlDuals",
@@ -60,7 +71,10 @@ __all__ = [
     "Sub2Iterate",
     "Sub2RateAllocator",
     "feasible_scaling",
+    "multi_feasible_scaling",
     "project_nonnegative",
+    "solve_multi_sunicast",
+    "solve_multi_sunicast_detailed",
     "session_graph_from_network",
     "session_graph_from_selection",
     "solve_min_cost",

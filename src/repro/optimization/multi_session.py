@@ -243,12 +243,46 @@ class MultiSessionRateControl:
         return out
 
 
-def solve_multi_sunicast(graphs: Sequence[SessionGraph]) -> Tuple[float, Tuple[float, ...]]:
+@dataclass(frozen=True)
+class MultiSunicastSolution:
+    """Full centralized optimum of the shared-MAC multi-session LP.
+
+    Attributes:
+        total_throughput: sum of per-session normalized throughputs.
+        throughputs: gamma_s per session (normalized).
+        broadcast_rates: b^s per session, keyed by node (normalized).
+        flows: x^s per session, keyed by link (normalized).
+    """
+
+    total_throughput: float
+    throughputs: Tuple[float, ...]
+    broadcast_rates: Tuple[Dict[int, float], ...]
+    flows: Tuple[Dict[Link, float], ...]
+
+
+def solve_multi_sunicast(
+    graphs: Sequence[SessionGraph],
+) -> Tuple[float, Tuple[float, ...]]:
     """Centralized reference: maximize total throughput across sessions.
 
     Returns ``(total, per_session)`` normalized throughputs under shared
     MAC constraints.  (The distributed algorithm optimizes the
     proportionally-fair sum of logs, so its total is at most this LP's.)
+    See :func:`solve_multi_sunicast_detailed` for the full primal point.
+    """
+    solution = solve_multi_sunicast_detailed(graphs)
+    return solution.total_throughput, solution.throughputs
+
+
+def solve_multi_sunicast_detailed(
+    graphs: Sequence[SessionGraph],
+) -> MultiSunicastSolution:
+    """Solve the shared-MAC LP and return rates and flows per session.
+
+    The extra primal detail (b^s, x^s) is what a centralized
+    multi-session *planner* needs: the rates feed the same
+    repair/rescale pipeline as the single-session planners
+    (:func:`repro.protocols.omnc.plan_omnc_multi`).
     """
     if not graphs:
         raise ValueError("at least one session is required")
@@ -360,4 +394,17 @@ def solve_multi_sunicast(graphs: Sequence[SessionGraph]) -> Tuple[float, Tuple[f
     if not result.success:
         raise RuntimeError(f"multi-session LP failed: {result.message}")
     per_session = tuple(float(result.x[col]) for col in gamma_indexes)
-    return float(sum(per_session)), per_session
+    broadcast_rates = tuple(
+        {node: float(result.x[col]) for node, col in node_indexes[s].items()}
+        for s in range(len(graphs))
+    )
+    flows = tuple(
+        {link: float(result.x[col]) for link, col in link_indexes[s].items()}
+        for s in range(len(graphs))
+    )
+    return MultiSunicastSolution(
+        total_throughput=float(sum(per_session)),
+        throughputs=per_session,
+        broadcast_rates=broadcast_rates,
+        flows=flows,
+    )

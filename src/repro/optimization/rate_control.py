@@ -22,7 +22,7 @@ The result's rates are capacity-normalized; use
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro import obs
 from repro.optimization.problem import SessionGraph
@@ -458,3 +458,56 @@ def feasible_scaling(
     if factor == 1.0:  # repro: ignore[RPR004] exact sentinel set above
         return dict(rates), 1.0
     return {n: min(1.0, b / factor) for n, b in rates.items()}, factor
+
+
+def multi_feasible_scaling(
+    graphs: Sequence[SessionGraph],
+    rates_list: Sequence[Dict[int, float]],
+    *,
+    saturate: bool = False,
+    max_scale_up: float = 2.0,
+) -> Tuple[List[Dict[int, float]], float]:
+    """Jointly rescale several sessions against the *shared* MAC.
+
+    The multi-session MAC constraint charges each receiver's
+    neighborhood with the summed load of every session
+    (:mod:`repro.optimization.multi_session`), so feasibility repair
+    must use one common divisor: scaling sessions independently would
+    re-break the coupling and skew the optimizer's inter-session
+    proportions.  Semantics otherwise match :func:`feasible_scaling`
+    (scale down by the worst overload; with ``saturate=True`` scale up
+    to fill the tightest neighborhood, bounded by ``max_scale_up``).
+
+    Returns the scaled per-session rates and the common divisor.
+    """
+    if len(graphs) != len(rates_list):
+        raise ValueError(
+            f"got {len(graphs)} graphs but {len(rates_list)} rate vectors"
+        )
+    constrained = sorted(
+        {node for graph in graphs for node in graph.mac_constrained_nodes()}
+    )
+    worst = 0.0
+    for node in constrained:
+        load = 0.0
+        for graph, rates in zip(graphs, rates_list):
+            if node not in graph.nodes:
+                continue
+            load += rates.get(node, 0.0) + sum(
+                rates.get(j, 0.0) for j in graph.neighbors[node]
+            )
+        worst = max(worst, load)
+    if worst <= 0.0:
+        return [dict(rates) for rates in rates_list], 1.0
+    if worst > 1.0:
+        factor = worst
+    elif saturate:
+        factor = max(worst, 1.0 / max_scale_up)
+    else:
+        factor = 1.0
+    if factor == 1.0:  # repro: ignore[RPR004] exact sentinel set above
+        return [dict(rates) for rates in rates_list], 1.0
+    return [
+        {n: min(1.0, b / factor) for n, b in rates.items()}
+        for rates in rates_list
+    ], factor

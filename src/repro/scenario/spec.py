@@ -11,7 +11,11 @@ Event kinds:
   node ids are preserved so decoder/session state survives;
 * ``recover`` — a failed node's links return at their pre-failure
   qualities;
-* ``load`` — the application changes its offered load (CBR fraction).
+* ``load`` — the application changes its offered load (CBR fraction);
+* ``session_arrive`` / ``session_depart`` — a unicast session joins or
+  leaves a multi-session run (consumed by
+  :func:`repro.emulator.multisession.run_multi_session`; the timeline's
+  topology replay ignores them).
 
 :class:`ScenarioTimeline` is the executable view: it replays a spec's
 events onto a concrete :class:`~repro.topology.graph.WirelessNetwork`,
@@ -30,7 +34,14 @@ from repro.topology.dynamics import perturb_link_qualities
 from repro.topology.graph import Link, WirelessNetwork
 from repro.util.rng import RngLike, as_rng
 
-SCENARIO_EVENT_KINDS = ("drift", "fail", "recover", "load")
+SCENARIO_EVENT_KINDS = (
+    "drift",
+    "fail",
+    "recover",
+    "load",
+    "session_arrive",
+    "session_depart",
+)
 
 
 @dataclass(frozen=True)
@@ -44,6 +55,12 @@ class ScenarioEvent:
         node: the affected node (``fail``/``recover`` only).
         cbr_fraction: the new offered load as a fraction of channel
             capacity (``load`` only).
+        session_id: the joining/leaving session
+            (``session_arrive``/``session_depart`` only).
+        source: the arriving session's source node (``session_arrive``
+            only, informational — the runner pre-builds the plan).
+        destination: the arriving session's destination node
+            (``session_arrive`` only, informational).
     """
 
     at: float
@@ -51,6 +68,9 @@ class ScenarioEvent:
     sigma: float = 0.0
     node: int | None = None
     cbr_fraction: float | None = None
+    session_id: int | None = None
+    source: int | None = None
+    destination: int | None = None
 
     def __post_init__(self) -> None:
         if self.at < 0:
@@ -67,6 +87,19 @@ class ScenarioEvent:
                 raise ValueError(
                     f"load events need cbr_fraction in (0, 1], got {self.cbr_fraction}"
                 )
+        if self.kind in ("session_arrive", "session_depart"):
+            if self.session_id is None or self.session_id < 0:
+                raise ValueError(f"{self.kind} events need a session_id >= 0")
+        if self.kind == "session_arrive":
+            for field in (self.source, self.destination):
+                if field is not None and field < 0:
+                    raise ValueError(
+                        f"session_arrive endpoints must be node ids >= 0"
+                    )
+            if self.source is not None and self.source == self.destination:
+                raise ValueError(
+                    "session_arrive source and destination must differ"
+                )
 
     def as_dict(self) -> dict[str, object]:
         """JSON-compatible representation (omits unused fields)."""
@@ -77,6 +110,12 @@ class ScenarioEvent:
             record["node"] = self.node
         if self.cbr_fraction is not None:
             record["cbr_fraction"] = self.cbr_fraction
+        if self.session_id is not None:
+            record["session_id"] = self.session_id
+        if self.source is not None:
+            record["source"] = self.source
+        if self.destination is not None:
+            record["destination"] = self.destination
         return record
 
     @classmethod
@@ -88,6 +127,9 @@ class ScenarioEvent:
             sigma=float(record.get("sigma", 0.0)),
             node=record.get("node"),
             cbr_fraction=record.get("cbr_fraction"),
+            session_id=record.get("session_id"),
+            source=record.get("source"),
+            destination=record.get("destination"),
         )
 
 
@@ -289,8 +331,11 @@ class ScenarioTimeline:
             return self._fail(event.node)
         if event.kind == "recover":
             return self._recover(event.node)
-        # load: purely an application-layer change.
-        self._cbr_fraction = event.cbr_fraction
+        if event.kind == "load":
+            # Purely an application-layer change.
+            self._cbr_fraction = event.cbr_fraction
+        # session_arrive/session_depart: consumed by the multi-session
+        # runner, not the topology replay.
         return False
 
     def _fail(self, node: int) -> bool:

@@ -1,0 +1,162 @@
+"""Inter-session XOR relaying: pairing rule, peeling, airtime saving."""
+
+import pytest
+
+from repro.emulator.multisession import run_multi_session
+from repro.emulator.node import (
+    FlowDestinationRuntime,
+    FlowSourceRuntime,
+    InterSessionXorRelay,
+    MultiSessionNodeRuntime,
+    XorPacket,
+)
+from repro.emulator.session import SessionConfig
+from repro.protocols.etx_routing import plan_etx_route
+from repro.protocols.intersession import (
+    plan_intersession_pairs,
+    relay_transmit_budget,
+)
+from repro.protocols.more import plan_more
+from repro.topology.graph import WirelessNetwork
+from repro.util.rng import RngFactory
+
+
+def alice_bob_network():
+    """A(0) -- R(1) -- B(2): all in carrier-sense range, no A-B link."""
+    positions = [[0.0, 0.0], [60.0, 0.0], [120.0, 0.0]]
+    quality = 0.85
+    links = {
+        (0, 1): quality,
+        (1, 0): quality,
+        (1, 2): quality,
+        (2, 1): quality,
+    }
+    return WirelessNetwork(positions, links, 130.0)
+
+
+def opposing_plans(network):
+    return {1: plan_more(network, 0, 2), 2: plan_more(network, 2, 0)}
+
+
+def _xor_config(**overrides):
+    defaults = dict(
+        blocks=8, block_size=256, max_seconds=60.0, target_generations=4
+    )
+    defaults.update(overrides)
+    return SessionConfig(**defaults)
+
+
+class TestPairingRule:
+    def test_alice_bob_relay_qualifies(self):
+        network = alice_bob_network()
+        pairs = plan_intersession_pairs(opposing_plans(network))
+        assert pairs == {1: ((1, 2),)}
+
+    def test_same_direction_flows_do_not_pair(self):
+        # Both sessions flow A -> B: the relay's downstream contains
+        # neither session's source, so XORs would be undecodable.
+        network = alice_bob_network()
+        plans = {1: plan_more(network, 0, 2), 2: plan_more(network, 0, 2)}
+        assert plan_intersession_pairs(plans) == {}
+
+    def test_unicast_plan_rejected(self):
+        network = alice_bob_network()
+        plans = opposing_plans(network)
+        plans[2] = plan_etx_route(network, 2, 0)
+        with pytest.raises(TypeError, match="coded"):
+            plan_intersession_pairs(plans)
+
+    def test_budget_helper_matches_plan_kind(self):
+        network = alice_bob_network()
+        plans = opposing_plans(network)
+        assert relay_transmit_budget(plans[1], 1) > 0
+        assert relay_transmit_budget(plans[1], 0) == 0.0  # source: no credit
+
+
+class TestXorRelayDataPlane:
+    def _packet(self, node_id, session_id):
+        source = FlowSourceRuntime(
+            node_id, session_id, blocks=4, rate_bps=4096.0, packet_bytes=256
+        )
+        source.on_slot(1.0)
+        return source, source.pop_transmission()
+
+    def test_pop_prefers_xor_when_both_queues_backlogged(self):
+        relay = InterSessionXorRelay(1, pairs=((1, 2),))
+        for sid in (1, 2):
+            source, _ = self._packet(1, sid)
+            relay.add_session(sid, source)
+        packet = relay.pop_transmission()
+        assert isinstance(packet, XorPacket)
+        assert packet.session_ids == (1, 2)
+        assert relay.xor_transmissions == 1
+
+    def test_pop_falls_back_when_one_side_dry(self):
+        relay = InterSessionXorRelay(1, pairs=((1, 2),))
+        source, _ = self._packet(1, 1)
+        relay.add_session(1, source)
+        dry = FlowSourceRuntime(
+            1, 2, blocks=4, rate_bps=4096.0, packet_bytes=256
+        )
+        relay.add_session(2, dry)  # never ticked: empty queue
+        packet = relay.pop_transmission()
+        assert not isinstance(packet, XorPacket)
+        assert packet.session_id == 1
+        assert relay.xor_transmissions == 0
+
+    def test_self_pair_rejected(self):
+        with pytest.raises(ValueError):
+            InterSessionXorRelay(1, pairs=((1, 1),))
+
+    def test_receiver_peels_only_with_native_knowledge(self):
+        # Node 0 is session 1's source and session 2's destination — it
+        # can peel session 2 out of a (1 xor 2) combination.  A bystander
+        # hosting only session 2 cannot.
+        _, packet_1 = self._packet(0, 1)
+        _, packet_2 = self._packet(2, 2)
+        combined = XorPacket((packet_1, packet_2))
+
+        alice = MultiSessionNodeRuntime(0)
+        source_1 = FlowSourceRuntime(
+            0, 1, blocks=4, rate_bps=4096.0, packet_bytes=256
+        )
+        alice.add_session(1, source_1)
+        alice.add_session(
+            2,
+            FlowDestinationRuntime(0, 2, 4, on_decoded=lambda g: None),
+        )
+        alice.on_receive(combined, sender=1)
+        assert alice.session_stats()[2]["delivered_links"] == [(1, 0)]
+
+        bystander = MultiSessionNodeRuntime(3)
+        bystander.add_session(
+            2,
+            FlowDestinationRuntime(3, 2, 4, on_decoded=lambda g: None),
+        )
+        bystander.on_receive(combined, sender=1)
+        assert bystander.session_stats()[2]["delivered_links"] == []
+
+
+class TestAliceBobEndToEnd:
+    def test_xor_relay_saves_airtime(self):
+        network = alice_bob_network()
+        plans = opposing_plans(network)
+        pairs = plan_intersession_pairs(plans)
+        outcomes = {}
+        for label, xor_pairs in (("off", None), ("on", pairs)):
+            outcomes[label] = run_multi_session(
+                network,
+                plans,
+                config=_xor_config(),
+                rng=RngFactory(2008),
+                xor_pairs=xor_pairs,
+            )
+        baseline, coded = outcomes["off"], outcomes["on"]
+        # Both variants complete the workload...
+        for outcome in (baseline, coded):
+            for result in outcome.sessions.values():
+                assert result.generations_decoded >= 4
+        # ...but the XOR relay does it in measurably fewer slots.
+        assert coded.xor_transmissions > 0
+        assert coded.transmissions < baseline.transmissions
+        assert baseline.xor_transmissions == 0

@@ -1,14 +1,21 @@
 """Multiple-unicast extension."""
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.optimization.multi_session import (
     MultiSessionRateControl,
     solve_multi_sunicast,
+    solve_multi_sunicast_detailed,
 )
 from repro.optimization.problem import session_graph_from_network
-from repro.optimization.rate_control import RateControlConfig
+from repro.optimization.rate_control import (
+    RateControlConfig,
+    multi_feasible_scaling,
+)
 from repro.optimization.sunicast import solve_sunicast
+from repro.topology.graph import WirelessNetwork
 from repro.topology.random_network import fig1_sample_topology
 
 
@@ -74,3 +81,115 @@ class TestMultiSessionRateControl:
         result = MultiSessionRateControl([g1, g2], config).run()
         assert result.iterations == 10
         assert not result.converged
+
+
+def asymmetric_sessions(qualities):
+    """Two sessions over a dense 6-node mesh with drawn link qualities.
+
+    Every ordered pair gets its own quality, so p_ij != p_ji in
+    general — the asymmetric-loss regime the LP must stay feasible in.
+    """
+    positions = [
+        [0.0, 0.0],
+        [30.0, 20.0],
+        [30.0, -20.0],
+        [60.0, 20.0],
+        [60.0, -20.0],
+        [90.0, 0.0],
+    ]
+    pairs = [
+        (i, j) for i in range(6) for j in range(6) if i != j
+    ]
+    links = {pair: q for pair, q in zip(pairs, qualities)}
+    net = WirelessNetwork(positions, links, 200.0)
+    return (
+        session_graph_from_network(net, 0, 5),
+        session_graph_from_network(net, 5, 0),
+    )
+
+
+link_qualities = st.lists(
+    st.floats(min_value=0.3, max_value=1.0),
+    min_size=30,
+    max_size=30,
+)
+
+
+class TestMultiSessionProperties:
+    """LP feasibility and fairness-envelope properties on random
+    asymmetric topologies (ISSUE 8 satellite)."""
+
+    @given(link_qualities)
+    @settings(max_examples=10, deadline=None)
+    def test_lp_solution_is_mac_feasible(self, qualities):
+        graphs = asymmetric_sessions(qualities)
+        solution = solve_multi_sunicast_detailed(graphs)
+        constrained = sorted(
+            {n for g in graphs for n in g.mac_constrained_nodes()}
+        )
+        for node in constrained:
+            load = 0.0
+            for g, rates in zip(graphs, solution.broadcast_rates):
+                if node not in g.nodes:
+                    continue
+                load += rates.get(node, 0.0)
+                load += sum(
+                    rates.get(j, 0.0) for j in g.neighbors[node]
+                )
+            assert load <= 1.0 + 1e-6
+
+    @given(link_qualities)
+    @settings(max_examples=10, deadline=None)
+    def test_lp_throughputs_are_nonnegative_and_consistent(self, qualities):
+        graphs = asymmetric_sessions(qualities)
+        solution = solve_multi_sunicast_detailed(graphs)
+        assert all(t >= -1e-9 for t in solution.throughputs)
+        assert solution.total_throughput == pytest.approx(
+            sum(solution.throughputs)
+        )
+        # The thin wrapper and the detailed solver agree exactly.
+        total, per = solve_multi_sunicast(graphs)
+        assert total == solution.total_throughput
+        assert per == solution.throughputs
+
+    @given(link_qualities)
+    @settings(max_examples=10, deadline=None)
+    def test_prop_fair_total_under_lp_envelope(self, qualities):
+        graphs = asymmetric_sessions(qualities)
+        result = MultiSessionRateControl(graphs).run()
+        # The subgradient's recovered gamma claims are approximate (the
+        # repair/rescale pipeline trims them before planning), so the
+        # shared-MAC LP total is not a hard ceiling for them.  The sum of
+        # *uncoupled* single-session LP optima is: each solo LP grants a
+        # session the whole airtime, so claims past their sum would mean
+        # the shared dual prices stopped coupling the sessions at all.
+        solo_envelope = sum(solve_sunicast(g).throughput for g in graphs)
+        assert result.total_throughput <= solo_envelope * 1.05
+        assert all(t >= 0.0 for t in result.throughputs)
+
+    @given(link_qualities, st.floats(min_value=1.0, max_value=4.0))
+    @settings(max_examples=10, deadline=None)
+    def test_feasible_scaling_restores_mac_feasibility(
+        self, qualities, inflation
+    ):
+        graphs = asymmetric_sessions(qualities)
+        solution = solve_multi_sunicast_detailed(graphs)
+        inflated = [
+            {node: rate * inflation for node, rate in rates.items()}
+            for rates in solution.broadcast_rates
+        ]
+        scaled, factor = multi_feasible_scaling(graphs, inflated)
+        assert factor >= 1.0
+        constrained = sorted(
+            {n for g in graphs for n in g.mac_constrained_nodes()}
+        )
+        for node in constrained:
+            load = 0.0
+            for g, rates in zip(graphs, scaled):
+                if node not in g.nodes:
+                    continue
+                load += rates.get(node, 0.0)
+                load += sum(
+                    rates.get(j, 0.0) for j in g.neighbors[node]
+                )
+            assert load <= 1.0 + 1e-9

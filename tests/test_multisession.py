@@ -1,0 +1,308 @@
+"""Multi-session data plane: composites, the driver, and the N-session
+shards=1 == shards=N digest oracle (including churn)."""
+
+import pytest
+
+from repro.emulator.multisession import (
+    MultiSessionOutcome,
+    multi_session_digest,
+    run_multi_session,
+)
+from repro.emulator.node import (
+    FlowDestinationRuntime,
+    FlowSourceRuntime,
+    MultiSessionNodeRuntime,
+    XorPacket,
+)
+from repro.emulator.session import SessionConfig
+from repro.emulator.shard import trace_digest
+from repro.emulator.trace import SessionTracer
+from repro.protocols.etx_routing import plan_etx_route
+from repro.protocols.more import plan_more
+from repro.protocols.omnc import plan_omnc
+from repro.routing.node_selection import NodeSelectionError
+from repro.scenario.spec import ScenarioEvent, ScenarioSpec
+from repro.topology.random_network import random_network
+from repro.util.rng import RngFactory
+
+ORACLE_SEEDS = (1, 2008, 77)
+
+
+def _quick_config(**overrides):
+    defaults = dict(
+        blocks=8, block_size=256, max_seconds=12.0, target_generations=0
+    )
+    defaults.update(overrides)
+    return SessionConfig(**defaults)
+
+
+def _three_session_mesh(seed, nodes=40):
+    """A seeded mesh plus three feasible disjoint-endpoint plans."""
+    network = random_network(nodes, rng=seed)
+    plans = {}
+    used = set()
+    sid = 1
+    for source in range(nodes):
+        if sid > 3:
+            break
+        if source in used:
+            continue
+        for destination in range(nodes - 1, -1, -1):
+            if destination == source or destination in used:
+                continue
+            planner = plan_omnc if sid % 2 else plan_more
+            try:
+                plans[sid] = planner(network, source, destination)
+            except NodeSelectionError:
+                continue
+            used.update((source, destination))
+            sid += 1
+            break
+    if len(plans) < 3:
+        raise RuntimeError(f"seed {seed}: fewer than 3 feasible sessions")
+    return network, plans
+
+
+def _churn_scenario(duration):
+    """Session 3 arrives at 1/3 of the run; session 2 departs at 2/3."""
+    return ScenarioSpec(
+        name="churn",
+        duration=duration,
+        epoch_seconds=duration,
+        events=(
+            ScenarioEvent(
+                at=duration / 3, kind="session_arrive", session_id=3
+            ),
+            ScenarioEvent(
+                at=2 * duration / 3, kind="session_depart", session_id=2
+            ),
+        ),
+    )
+
+
+def _fresh_flow_runtime(node_id, session_id, role="source"):
+    if role == "source":
+        runtime = FlowSourceRuntime(
+            node_id, session_id, blocks=4, rate_bps=4096.0, packet_bytes=256
+        )
+        runtime.on_slot(1.0)  # accrue credit: 16 packets queued
+        return runtime
+    return FlowDestinationRuntime(
+        node_id, session_id, blocks=4, on_decoded=lambda generation: None
+    )
+
+
+class TestXorPacket:
+    def test_components_sorted_by_session(self):
+        a = _fresh_flow_runtime(0, 2).pop_transmission()
+        b = _fresh_flow_runtime(1, 1).pop_transmission()
+        packet = XorPacket((a, b))
+        assert [c.session_id for c in packet.components] == [1, 2]
+        assert packet.session_ids == (1, 2)
+
+    def test_rejects_single_session(self):
+        a = _fresh_flow_runtime(0, 1).pop_transmission()
+        b = _fresh_flow_runtime(1, 1).pop_transmission()
+        with pytest.raises(ValueError):
+            XorPacket((a, b))
+
+
+class TestMultiSessionComposite:
+    def test_routes_by_session_id(self):
+        composite = MultiSessionNodeRuntime(5)
+        composite.add_session(1, _fresh_flow_runtime(5, 1, role="dest"))
+        composite.add_session(2, _fresh_flow_runtime(5, 2, role="dest"))
+        packet = _fresh_flow_runtime(0, 2).pop_transmission()
+        composite.on_receive(packet, sender=0)
+        stats = composite.session_stats()
+        assert stats[2]["delivered_links"] == [(0, 5)]
+        assert stats[1]["delivered_links"] == []
+
+    def test_drops_unhosted_and_dormant_sessions(self):
+        composite = MultiSessionNodeRuntime(5)
+        composite.add_session(
+            1, _fresh_flow_runtime(5, 1, role="dest"), active=False
+        )
+        composite.on_receive(
+            _fresh_flow_runtime(0, 1).pop_transmission(), sender=0
+        )
+        composite.on_receive(
+            _fresh_flow_runtime(0, 9).pop_transmission(), sender=0
+        )
+        assert composite.session_stats()[1]["delivered_links"] == []
+
+    def test_round_robin_pop_interleaves_sessions(self):
+        composite = MultiSessionNodeRuntime(3)
+        composite.add_session(1, _fresh_flow_runtime(3, 1))
+        composite.add_session(2, _fresh_flow_runtime(3, 2))
+        seen = [composite.pop_transmission().session_id for _ in range(4)]
+        assert seen == [1, 2, 1, 2]
+
+    def test_single_session_advance_raises(self):
+        composite = MultiSessionNodeRuntime(3)
+        composite.add_session(1, _fresh_flow_runtime(3, 1))
+        with pytest.raises(RuntimeError, match="advance_session_generation"):
+            composite.advance_generation(1)
+
+    def test_activation_round_trip(self):
+        composite = MultiSessionNodeRuntime(3)
+        composite.add_session(1, _fresh_flow_runtime(3, 1), active=False)
+        assert composite.active_sessions() == ()
+        assert composite.hosted_sessions() == (1,)
+        composite.activate_session(1)
+        assert composite.active_sessions() == (1,)
+        composite.deactivate_session(1)
+        assert composite.active_sessions() == ()
+
+    def test_duplicate_session_rejected(self):
+        composite = MultiSessionNodeRuntime(3)
+        composite.add_session(1, _fresh_flow_runtime(3, 1))
+        with pytest.raises(ValueError):
+            composite.add_session(1, _fresh_flow_runtime(3, 1))
+
+
+class TestRunMultiSession:
+    def test_per_session_results_and_aggregate(self):
+        network, plans = _three_session_mesh(2008)
+        outcome = run_multi_session(
+            network, plans, config=_quick_config(), rng=RngFactory(2008)
+        )
+        assert isinstance(outcome, MultiSessionOutcome)
+        assert outcome.session_ids == (1, 2, 3)
+        assert outcome.aggregate_throughput_bps == pytest.approx(
+            sum(outcome.throughputs().values())
+        )
+        assert 0.0 <= outcome.fairness <= 1.0
+        assert outcome.transmissions > 0
+        for sid, result in outcome.sessions.items():
+            assert result.duration == pytest.approx(outcome.duration)
+
+    def test_fixed_seed_reproduces_exactly(self):
+        network, plans = _three_session_mesh(2008)
+        digests = []
+        for _ in range(2):
+            outcome = run_multi_session(
+                network, plans, config=_quick_config(), rng=RngFactory(77)
+            )
+            digests.append(multi_session_digest(outcome))
+        assert digests[0] == digests[1]
+
+    def test_unicast_plans_rejected(self):
+        network, plans = _three_session_mesh(2008)
+        source = plans[1].forwarders.source
+        destination = plans[1].forwarders.destination
+        plans[1] = plan_etx_route(network, source, destination)
+        with pytest.raises(TypeError, match="coded"):
+            run_multi_session(
+                network, plans, config=_quick_config(), rng=RngFactory(1)
+            )
+
+    def test_empty_plans_rejected(self):
+        network, _ = _three_session_mesh(2008)
+        with pytest.raises(ValueError):
+            run_multi_session(
+                network, {}, config=_quick_config(), rng=RngFactory(1)
+            )
+
+    def test_churn_records_arrivals_and_departures(self):
+        network, plans = _three_session_mesh(2008)
+        config = _quick_config()
+        outcome = run_multi_session(
+            network,
+            plans,
+            config=config,
+            rng=RngFactory(2008),
+            scenario=_churn_scenario(config.max_seconds),
+        )
+        assert [sid for _, sid in outcome.arrivals] == [3]
+        assert [sid for _, sid in outcome.departures] == [2]
+        (arrive_at, _), (depart_at, _) = (
+            outcome.arrivals[0],
+            outcome.departures[0],
+        )
+        assert arrive_at == pytest.approx(config.max_seconds / 3, abs=0.1)
+        assert depart_at == pytest.approx(
+            2 * config.max_seconds / 3, abs=0.1
+        )
+
+    def test_churn_event_for_unknown_session_rejected(self):
+        network, plans = _three_session_mesh(2008)
+        scenario = ScenarioSpec(
+            name="bad",
+            duration=12.0,
+            epoch_seconds=12.0,
+            events=(
+                ScenarioEvent(at=4.0, kind="session_arrive", session_id=9),
+            ),
+        )
+        with pytest.raises(ValueError, match="unknown session"):
+            run_multi_session(
+                network,
+                plans,
+                config=_quick_config(),
+                rng=RngFactory(1),
+                scenario=scenario,
+            )
+
+
+class TestMultiSessionShardOracle:
+    """shards=1 == shards=N, extended to N concurrent sessions."""
+
+    @pytest.mark.parametrize("seed", ORACLE_SEEDS)
+    def test_three_sessions_bit_identical(self, seed):
+        network, plans = _three_session_mesh(seed)
+        digests = {}
+        for shards in (1, 2):
+            tracer = SessionTracer(capacity=500_000)
+            outcome = run_multi_session(
+                network,
+                plans,
+                shards=shards,
+                config=_quick_config(),
+                rng=RngFactory(seed),
+                tracer=tracer,
+            )
+            digests[shards] = (
+                multi_session_digest(outcome),
+                trace_digest(tracer),
+            )
+        assert digests[1] == digests[2]
+
+    @pytest.mark.parametrize("seed", ORACLE_SEEDS)
+    def test_churn_bit_identical(self, seed):
+        """One arrival and one departure mid-run, across the barrier."""
+        network, plans = _three_session_mesh(seed)
+        config = _quick_config()
+        digests = {}
+        for shards in (1, 2):
+            tracer = SessionTracer(capacity=500_000)
+            outcome = run_multi_session(
+                network,
+                plans,
+                shards=shards,
+                config=config,
+                rng=RngFactory(seed),
+                scenario=_churn_scenario(config.max_seconds),
+                tracer=tracer,
+            )
+            digests[shards] = (
+                multi_session_digest(outcome),
+                trace_digest(tracer),
+            )
+        assert digests[1] == digests[2]
+
+    def test_four_shards_bit_identical(self):
+        network, plans = _three_session_mesh(2008)
+        config = _quick_config()
+        digests = {}
+        for shards in (1, 4):
+            outcome = run_multi_session(
+                network,
+                plans,
+                shards=shards,
+                config=config,
+                rng=RngFactory(2008),
+                scenario=_churn_scenario(config.max_seconds),
+            )
+            digests[shards] = multi_session_digest(outcome)
+        assert digests[1] == digests[4]

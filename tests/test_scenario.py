@@ -49,6 +49,41 @@ class TestScenarioEvent:
         event = ScenarioEvent(at=5.0, kind="fail", node=3)
         assert ScenarioEvent.from_dict(event.as_dict()) == event
 
+    def test_session_events_need_session_id(self):
+        with pytest.raises(ValueError, match="session_id"):
+            ScenarioEvent(at=1.0, kind="session_arrive")
+        with pytest.raises(ValueError, match="session_id"):
+            ScenarioEvent(at=1.0, kind="session_depart", session_id=-1)
+
+    def test_session_arrive_endpoints_validated(self):
+        with pytest.raises(ValueError, match="differ"):
+            ScenarioEvent(
+                at=1.0,
+                kind="session_arrive",
+                session_id=1,
+                source=4,
+                destination=4,
+            )
+        with pytest.raises(ValueError, match=">= 0"):
+            ScenarioEvent(
+                at=1.0, kind="session_arrive", session_id=1, source=-2
+            )
+
+    def test_session_event_dict_round_trip(self):
+        event = ScenarioEvent(
+            at=7.5,
+            kind="session_arrive",
+            session_id=2,
+            source=0,
+            destination=9,
+        )
+        payload = event.as_dict()
+        assert payload["session_id"] == 2
+        assert ScenarioEvent.from_dict(payload) == event
+        depart = ScenarioEvent(at=9.0, kind="session_depart", session_id=2)
+        assert "source" not in depart.as_dict()
+        assert ScenarioEvent.from_dict(depart.as_dict()) == depart
+
 
 class TestScenarioSpec:
     def test_events_must_be_sorted(self):
@@ -202,6 +237,27 @@ class TestScenarioTimeline:
         assert not timeline.advance_to(10.0)
         assert timeline.cbr_fraction == 0.25
         assert timeline.network is net
+
+    def test_session_events_do_not_touch_topology_or_load(self):
+        # Session churn is consumed by run_multi_session; the topology
+        # timeline must pass it through without side effects.
+        net = self._network()
+        spec = ScenarioSpec(
+            name="churn",
+            duration=100.0,
+            epoch_seconds=10.0,
+            events=(
+                ScenarioEvent(at=5.0, kind="load", cbr_fraction=0.25),
+                ScenarioEvent(at=10.0, kind="session_arrive", session_id=2),
+                ScenarioEvent(at=20.0, kind="session_depart", session_id=1),
+            ),
+        )
+        timeline = ScenarioTimeline(net, spec)
+        timeline.advance_to(5.0)
+        assert timeline.cbr_fraction == 0.25
+        assert not timeline.advance_to(50.0)
+        assert timeline.network is net
+        assert timeline.cbr_fraction == 0.25  # not reset by churn events
 
     def test_fixed_seed_reproduces_topology_sequence(self):
         net = self._network()

@@ -8,6 +8,7 @@ from repro.emulator.session import SessionResult
 from repro.emulator.stats import (
     ascii_cdf,
     count_dag_paths,
+    jain_fairness_index,
     summarize,
     throughput_gain,
     utility_ratios,
@@ -170,3 +171,42 @@ class TestAsciiCdf:
 
     def test_empty_distribution(self):
         assert "(no data)" in ascii_cdf(summarize([]), label="x")
+
+
+class TestJainFairness:
+    def test_equal_allocations_are_perfectly_fair(self):
+        assert jain_fairness_index([5.0, 5.0, 5.0]) == pytest.approx(1.0)
+
+    def test_single_session_is_fair(self):
+        assert jain_fairness_index([123.4]) == pytest.approx(1.0)
+
+    def test_known_two_session_split(self):
+        # (1+3)^2 / (2 * (1+9)) = 16/20
+        assert jain_fairness_index([1.0, 3.0]) == pytest.approx(0.8)
+
+    def test_starvation_approaches_one_over_n(self):
+        assert jain_fairness_index([100.0, 0.0, 0.0, 0.0]) == pytest.approx(
+            0.25
+        )
+
+    def test_empty_returns_zero(self):
+        assert jain_fairness_index([]) == 0.0
+
+    def test_all_zero_is_degenerately_fair(self):
+        assert jain_fairness_index([0.0, 0.0]) == 1.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            jain_fairness_index([1.0, -0.5])
+
+    @given(
+        st.lists(
+            st.floats(min_value=0.0, max_value=1e6),
+            min_size=1,
+            max_size=16,
+        ).filter(lambda xs: any(x > 0.0 for x in xs))
+    )
+    @settings(max_examples=25)
+    def test_bounded_between_one_over_n_and_one(self, values):
+        index = jain_fairness_index(values)
+        assert 1.0 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
