@@ -20,11 +20,11 @@ Run::
 from repro.emulator import SessionConfig, run_coded_session
 from repro.protocols import plan_etx_route, plan_omnc
 from repro.routing import NodeSelectionError
+from repro.optimization import replan_cost
 from repro.topology import (
     perturb_link_qualities,
     quality_drift,
     random_network,
-    replan_cost,
 )
 from repro.util import RngFactory
 

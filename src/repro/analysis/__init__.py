@@ -1,6 +1,8 @@
-"""``repro.analysis`` — the determinism & invariant static-analysis pass.
+"""``repro.analysis`` — static analysis for the repro tree.
 
-A custom AST linter (``repro lint``) enforcing the repo's reproducibility
+Two commands share one findings/baseline/pragma stack:
+
+``repro lint`` — a per-file AST linter enforcing the reproducibility
 discipline at rest, before code runs:
 
 ========  ==============================================================
@@ -11,27 +13,61 @@ RPR004    no-float-equality — exact ==/!= on float literals
 RPR005    public-api-annotations — exported functions fully annotated
 ========  ==============================================================
 
-See :mod:`repro.analysis.rules` for the rationale tied to each rule and
-DESIGN.md §10 for the catalog.  Suppress per line with
-``# repro: ignore[RPR00x]`` (or ``# repro: rng-root`` for RPR001);
-grandfathered findings live in ``repro-lint-baseline.json``, which only
-ever shrinks.
+``repro check`` — a whole-program analyzer that parses the package into
+a module graph + symbol table (:mod:`repro.analysis.modgraph`,
+:mod:`repro.analysis.symbols`) and enforces the architecture contract
+declared in ``[tool.repro.check]``:
+
+========  ==============================================================
+RPR101    layering-contract — layer bands respected, import graph acyclic
+RPR102    worker-shared-state — no mutated module globals in worker closures
+RPR103    payload-picklability — Pipe payload types statically picklable
+RPR104    rng-escape — live Generator streams never cross process/digest
+          boundaries (ship seeds or an RngFactory)
+========  ==============================================================
+
+See :mod:`repro.analysis.rules` / :mod:`repro.analysis.project_rules`
+for per-rule rationale, and DESIGN.md §10/§15 for the catalogs.
+Suppress per line with ``# repro: ignore[RPRxxx]`` (or ``# repro:
+rng-root`` for RPR001); grandfathered findings live in
+``repro-lint-baseline.json`` / ``repro-check-baseline.json``, which
+only ever shrink.
 """
 
 from repro.analysis.baseline import load_baseline, partition, save_baseline
-from repro.analysis.findings import RULE_CODES, RULE_SUMMARIES, Finding
+from repro.analysis.checker import load_check_config
+from repro.analysis.checker import main as check_main
+from repro.analysis.findings import (
+    CHECK_RULE_CODES,
+    CHECK_RULE_SUMMARIES,
+    RULE_CODES,
+    RULE_SUMMARIES,
+    Finding,
+)
+from repro.analysis.modgraph import ProjectGraph, build_project
+from repro.analysis.project_rules import CheckConfig, run_project_rules
 from repro.analysis.rules import LintConfig, lint_source
 from repro.analysis.runner import lint_paths, main
+from repro.analysis.symbols import SymbolTable
 
 __all__ = [
+    "CHECK_RULE_CODES",
+    "CHECK_RULE_SUMMARIES",
+    "CheckConfig",
     "Finding",
     "LintConfig",
+    "ProjectGraph",
     "RULE_CODES",
     "RULE_SUMMARIES",
+    "SymbolTable",
+    "build_project",
+    "check_main",
     "lint_paths",
     "lint_source",
     "load_baseline",
+    "load_check_config",
     "main",
     "partition",
+    "run_project_rules",
     "save_baseline",
 ]

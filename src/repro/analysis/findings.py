@@ -23,6 +23,21 @@ RULE_SUMMARIES: dict[str, str] = {
     "RPR005": "public-api-annotations: exported functions must be fully annotated",
 }
 
+#: Whole-program rule family run by ``repro check`` (needs the project
+#: module graph + symbol table, not just one file at a time).
+CHECK_RULE_CODES: tuple[str, ...] = ("RPR101", "RPR102", "RPR103", "RPR104")
+
+CHECK_RULE_SUMMARIES: dict[str, str] = {
+    "RPR101": "layering-contract: package imports must respect the declared "
+    "layer bands and stay acyclic (TYPE_CHECKING imports exempt)",
+    "RPR102": "worker-shared-state: mutable module-level state reachable from "
+    "worker processes diverges between parent and worker",
+    "RPR103": "payload-picklability: types shipped over a Pipe must be "
+    "statically picklable (no lambdas, generators, handles, RNG fields)",
+    "RPR104": "rng-escape: live Generator streams must not cross process or "
+    "digest boundaries — ship seeds or an RngFactory instead",
+}
+
 
 @dataclass(frozen=True)
 class Finding:

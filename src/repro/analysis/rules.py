@@ -189,7 +189,15 @@ class _RuleVisitor(ast.NodeVisitor):
             return
         line = getattr(node, "lineno", 1)
         column = getattr(node, "col_offset", 0)
-        if rule in self._suppressed.get(line, frozenset()):
+        # A statement that wraps across lines honors a pragma on any of
+        # its physical lines — black-style formatting regularly pushes
+        # the offending expression (and the trailing comment) past the
+        # anchor line.
+        end = getattr(node, "end_lineno", None) or line
+        if any(
+            rule in self._suppressed.get(at, frozenset())
+            for at in range(line, end + 1)
+        ):
             return
         snippet = ""
         if 1 <= line <= len(self._lines):

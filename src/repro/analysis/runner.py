@@ -85,11 +85,11 @@ def format_text(
         )
 
 
-def format_github(new: list[Finding]) -> Iterator[str]:
+def format_github(new: list[Finding], *, tool: str = "repro-lint") -> Iterator[str]:
     for finding in new:
         yield (
             f"::error file={finding.path},line={finding.line},"
-            f"col={finding.column},title=repro-lint {finding.rule}::"
+            f"col={finding.column},title={tool} {finding.rule}::"
             f"{finding.message}"
         )
 
@@ -100,6 +100,8 @@ def format_json(
     stale: int,
     checked: int,
     errors: list[str],
+    *,
+    rules: dict[str, str] | None = None,
 ) -> str:
     return json.dumps(
         {
@@ -108,7 +110,7 @@ def format_json(
             "stale_baseline_entries": stale,
             "files_checked": checked,
             "parse_errors": errors,
-            "rules": RULE_SUMMARIES,
+            "rules": RULE_SUMMARIES if rules is None else rules,
         },
         indent=2,
         sort_keys=True,

@@ -8,7 +8,10 @@ for users who want the paper's numbers without writing Python:
 * ``session`` — plan and emulate one session of a chosen protocol;
 * ``multisession`` — plan and emulate N concurrent unicast sessions;
 * ``topology`` — generate and save a topology for later reuse;
-* ``lint`` — the determinism & invariant static-analysis pass.
+* ``lint`` — the per-file determinism & invariant static-analysis pass;
+* ``check`` — the whole-program architecture & cross-process
+  determinism analysis (layering contract, worker-shared state,
+  payload picklability, RNG escape).
 """
 
 from __future__ import annotations
@@ -18,6 +21,7 @@ import sys
 from typing import List, Optional
 
 from repro import obs
+from repro.analysis import checker as analysis_checker
 from repro.analysis import runner as analysis_runner
 from repro.exec import add_execution_arguments, apply_gf_backend, policy_from_args
 from repro.emulator.session import (
@@ -549,6 +553,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     analysis_runner.configure_parser(lint)
     lint.set_defaults(func=analysis_runner.run)
+
+    check = sub.add_parser(
+        "check",
+        help="whole-program architecture & cross-process determinism "
+        "analysis (RPR101-RPR104)",
+    )
+    analysis_checker.configure_parser(check)
+    check.set_defaults(func=analysis_checker.run)
     return parser
 
 

@@ -170,12 +170,18 @@ class GF256NibbleSplit(GF256):
 # ---------------------------------------------------------------------------
 # Registry
 
-_REGISTRY: Dict[str, FieldType] = {}
+# The backend registry is deliberately process-local: every process
+# (parent and shard workers alike) repopulates it from the same
+# deterministic module-level register_backend() calls at import time,
+# and the chosen backend travels to workers by *name* via
+# OMNC_GF_BACKEND, never by object.  Divergence is therefore impossible
+# by construction, which is what the RPR102 pragmas record.
+_REGISTRY: Dict[str, FieldType] = {}  # repro: ignore[RPR102]
 #: Lazy backends: name -> provider returning a FieldType or None when the
 #: backend cannot run here (no toolchain, numba absent, ...).  Providers
 #: run at most once; their verdict is cached in ``_RESOLVED``.
-_PROVIDERS: Dict[str, Callable[[], Optional[FieldType]]] = {}
-_RESOLVED: Dict[str, Optional[FieldType]] = {}
+_PROVIDERS: Dict[str, Callable[[], Optional[FieldType]]] = {}  # repro: ignore[RPR102]
+_RESOLVED: Dict[str, Optional[FieldType]] = {}  # repro: ignore[RPR102]
 #: Explicit process-default selection (set via :func:`select_backend`).
 _SELECTED: Optional[str] = None
 

@@ -61,7 +61,7 @@ from repro.emulator.shard import (
 )
 from repro.emulator.stats import jain_fairness_index
 from repro.emulator.trace import SessionTracer
-from repro.protocols.base import (
+from repro.emulator.plan import (
     CodedBroadcastPlan,
     CreditBroadcastPlan,
     SessionPlan,

@@ -34,7 +34,7 @@ from repro.emulator.node import (
     NodeRuntime,
     UnicastRuntime,
 )
-from repro.protocols.base import (
+from repro.emulator.plan import (
     CodedBroadcastPlan,
     CreditBroadcastPlan,
     SessionPlan,

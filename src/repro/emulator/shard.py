@@ -61,8 +61,8 @@ from repro.emulator.session import (
     build_plan_runtimes,
 )
 from repro.emulator.trace import SessionTracer
+from repro.emulator.plan import SessionPlan, UnicastPathPlan
 from repro.exec.pool import PersistentWorkerGroup, WorkerPool
-from repro.protocols.base import SessionPlan, UnicastPathPlan
 from repro.topology.graph import Link, WirelessNetwork
 from repro.topology.partition import NetworkPartition, partition_network
 from repro.util.rng import NodeStreams, RngFactory

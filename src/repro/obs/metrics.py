@@ -29,7 +29,7 @@ from __future__ import annotations
 import json
 import math
 from pathlib import Path
-from typing import Dict, Iterable, List, Optional, Union
+from typing import Any, Dict, Iterable, List, Optional, Type, TypeVar, Union
 
 __all__ = [
     "Counter",
@@ -303,6 +303,8 @@ NULL_COUNTER = _NullCounter()
 NULL_GAUGE = _NullGauge()
 NULL_HISTOGRAM = _NullHistogram()
 
+_InstrumentT = TypeVar("_InstrumentT", bound=Instrument)
+
 
 class MetricsRegistry:
     """Named instrument store components attach to.
@@ -332,16 +334,18 @@ class MetricsRegistry:
         """Sorted names of all registered instruments."""
         return sorted(self._instruments)
 
-    def _get_or_create(self, cls, name: str, description: str, **kwargs):
+    def _get_or_create(
+        self, cls: Type[_InstrumentT], name: str, description: str, **kwargs: Any
+    ) -> _InstrumentT:
         if not name:
             raise ValueError("instrument name must be non-empty")
         existing = self._instruments.get(name)
         if existing is not None:
-            if not isinstance(existing, cls) or type(existing) is not cls:
-                raise TypeError(
-                    f"metric {name!r} already registered as {existing.kind}"
-                )
-            return existing
+            if isinstance(existing, cls) and type(existing) is cls:
+                return existing
+            raise TypeError(
+                f"metric {name!r} already registered as {existing.kind}"
+            )
         instrument = cls(name, description, **kwargs)
         self._instruments[name] = instrument
         return instrument

@@ -21,7 +21,7 @@ import json
 from collections import Counter as TallyCounter
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, Iterator, List, Optional, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Tuple, Union, cast
 
 __all__ = ["EventTracer", "NULL_TRACER", "TraceRecord"]
 
@@ -120,10 +120,10 @@ class EventTracer:
         code pulls a trajectory (e.g. ``lambda_max`` per iteration) out
         of the trace without touching the optimizer's internals.
         """
-        values = []
+        values: List[float] = []
         for record in self.records(kind=kind):
             if field_name in record.fields:
-                values.append(record.fields[field_name])
+                values.append(cast(float, record.fields[field_name]))
         return values
 
     def to_jsonl(self, path: Union[str, Path]) -> int:

@@ -13,6 +13,8 @@
   same algorithm, proving it runs on one-hop exchanges only.
 * :mod:`repro.optimization.multi_session` — the multiple-unicast
   extension sketched in the paper's conclusion.
+* :mod:`repro.optimization.replanning` — the Sec. 4 control-plane
+  re-initiation cost model (flood + message census).
 """
 
 from repro.optimization.multi_session import (
@@ -35,6 +37,7 @@ from repro.optimization.rate_control import (
     feasible_scaling,
     multi_feasible_scaling,
 )
+from repro.optimization.replanning import ReplanCost, replan_cost
 from repro.optimization.sub1_routing import Sub1Iterate, Sub1Router
 from repro.optimization.sub2_rates import Sub2Iterate, Sub2RateAllocator
 from repro.optimization.subgradient import (
@@ -63,6 +66,7 @@ __all__ = [
     "RateControlConfig",
     "RateControlDuals",
     "RateControlResult",
+    "ReplanCost",
     "SUnicastSolution",
     "SessionGraph",
     "StepSizeSchedule",
@@ -73,6 +77,7 @@ __all__ = [
     "feasible_scaling",
     "multi_feasible_scaling",
     "project_nonnegative",
+    "replan_cost",
     "solve_multi_sunicast",
     "solve_multi_sunicast_detailed",
     "session_graph_from_network",

@@ -34,7 +34,7 @@ from repro.protocols.more import plan_more
 from repro.protocols.oldmore import plan_oldmore
 from repro.protocols.omnc import plan_omnc_detailed
 from repro.routing.pseudo_broadcast import reliable_flood
-from repro.topology.dynamics import replan_cost
+from repro.optimization.replanning import replan_cost
 from repro.topology.graph import WirelessNetwork
 
 DEFAULT_CONTROL_PACKET_BYTES = 64

@@ -1,150 +1,25 @@
-"""Protocol plans: what each protocol tells the emulator to do.
+"""Plan types, re-exported from their home in the data plane.
 
-A *plan* is the static, per-session output of a protocol's control plane
-(node selection + whatever rate/credit computation it performs).  The
-emulator (:mod:`repro.emulator`) executes plans; it knows three node
-behaviours:
-
-* **rate-driven coded broadcast** (OMNC): node i re-encodes and
-  broadcasts at the allocated rate b_i.
-* **credit-driven coded broadcast** (MORE / oldMORE): node i gains
-  ``tx_credit`` transmission credits per packet heard from upstream and
-  broadcasts while it has credit; the source transmits continuously at
-  the offered load.
-* **best-path unicast forwarding** (ETX routing): store-and-forward along
-  one path with per-hop MAC retransmissions.
-
-Keeping the plan/behaviour split mirrors the paper's architecture: the
-optimization (or heuristic) runs once per session, then the data plane
-simply follows it.
+The plan dataclasses live in :mod:`repro.emulator.plan`: the emulator
+executes plans, so it owns the types, and the protocol planners import
+them from the layer below (see the RPR101 layering contract in
+``pyproject.toml``).  This module keeps the historical import surface —
+``from repro.protocols.base import CodedBroadcastPlan`` — working for
+every control-plane consumer.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Tuple
+from repro.emulator.plan import (
+    CodedBroadcastPlan,
+    CreditBroadcastPlan,
+    SessionPlan,
+    UnicastPathPlan,
+)
 
-from repro.routing.node_selection import ForwarderSet
-
-
-@dataclass(frozen=True)
-class CodedBroadcastPlan:
-    """Plan for rate-driven network coding (OMNC).
-
-    Attributes:
-        forwarders: the node-selection result (defines the session DAG).
-        rates: broadcast rate per node in **bytes/second** (already
-            rescaled into the MAC-feasible region).
-        predicted_throughput: the optimization's gamma in bytes/second —
-            the paper compares emulated against predicted throughput.
-        iterations: rate-control iterations spent (0 if planned via the
-            centralized LP).
-    """
-
-    forwarders: ForwarderSet
-    rates: Dict[int, float]
-    predicted_throughput: float
-    iterations: int = 0
-
-    def __post_init__(self) -> None:
-        for node, rate in self.rates.items():
-            if node not in self.forwarders.nodes:
-                raise ValueError(f"rate assigned to unselected node {node}")
-            if rate < 0:
-                raise ValueError(f"negative rate for node {node}: {rate}")
-
-    @property
-    def kind(self) -> str:
-        """Behaviour key understood by the emulator."""
-        return "rate"
-
-    def active_nodes(self, threshold: float = 1e-9) -> FrozenSet[int]:
-        """Nodes with a positive broadcast rate (plus the destination)."""
-        active = {n for n, r in self.rates.items() if r > threshold}
-        active.add(self.forwarders.destination)
-        return frozenset(active)
-
-
-@dataclass(frozen=True)
-class CreditBroadcastPlan:
-    """Plan for credit-driven network coding (MORE and oldMORE).
-
-    Attributes:
-        forwarders: the node-selection result.
-        tx_credits: transmission credit gained per upstream packet heard,
-            per node.  The source is not credit-driven (it streams at the
-            offered load) and has no entry.
-        expected_transmissions: the z_i vector (per delivered source
-            packet) that produced the credits — kept for analysis.
-    """
-
-    forwarders: ForwarderSet
-    tx_credits: Dict[int, float]
-    expected_transmissions: Dict[int, float]
-
-    def __post_init__(self) -> None:
-        for node, credit in self.tx_credits.items():
-            if node not in self.forwarders.nodes:
-                raise ValueError(f"credit assigned to unselected node {node}")
-            if credit < 0:
-                raise ValueError(f"negative credit for node {node}: {credit}")
-
-    @property
-    def kind(self) -> str:
-        """Behaviour key understood by the emulator."""
-        return "credit"
-
-    def active_nodes(self, threshold: float = 1e-9) -> FrozenSet[int]:
-        """Nodes that may transmit: positive credit, plus source/dest."""
-        active = {n for n, c in self.tx_credits.items() if c > threshold}
-        active.add(self.forwarders.source)
-        active.add(self.forwarders.destination)
-        return frozenset(active)
-
-
-@dataclass(frozen=True)
-class UnicastPathPlan:
-    """Plan for best-path store-and-forward routing (ETX).
-
-    Attributes:
-        path: the node sequence source..destination.
-        path_etx: total expected transmission count of the path.
-    """
-
-    path: Tuple[int, ...]
-    path_etx: float
-
-    def __post_init__(self) -> None:
-        if len(self.path) < 2:
-            raise ValueError("path needs at least source and destination")
-        if len(set(self.path)) != len(self.path):
-            raise ValueError(f"path revisits a node: {self.path}")
-        if self.path_etx < len(self.path) - 1:
-            raise ValueError(
-                f"path ETX {self.path_etx} below hop count {len(self.path) - 1}"
-            )
-
-    @property
-    def kind(self) -> str:
-        """Behaviour key understood by the emulator."""
-        return "unicast"
-
-    @property
-    def source(self) -> int:
-        """First node of the path."""
-        return self.path[0]
-
-    @property
-    def destination(self) -> int:
-        """Last node of the path."""
-        return self.path[-1]
-
-    @property
-    def hop_count(self) -> int:
-        """Number of links on the path."""
-        return len(self.path) - 1
-
-
-#: Any plan a session driver can execute (see
-#: :func:`repro.emulator.session.build_plan_runtimes`).
-SessionPlan = CodedBroadcastPlan | CreditBroadcastPlan | UnicastPathPlan
+__all__ = [
+    "CodedBroadcastPlan",
+    "CreditBroadcastPlan",
+    "SessionPlan",
+    "UnicastPathPlan",
+]

@@ -30,10 +30,8 @@ from repro.topology.phy import (
     lossy_phy,
 )
 from repro.topology.dynamics import (
-    ReplanCost,
     perturb_link_qualities,
     quality_drift,
-    replan_cost,
 )
 from repro.topology.random_network import (
     chain_topology,
@@ -72,8 +70,6 @@ __all__ = [
     "network_to_dict",
     "perturb_link_qualities",
     "quality_drift",
-    "replan_cost",
-    "ReplanCost",
     "save_network",
     "network_from_links",
     "pairwise_distances",

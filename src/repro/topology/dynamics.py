@@ -12,24 +12,21 @@ This module supplies the machinery to study exactly that trade-off:
   shadowing uses), preserving geometry and neighborhoods;
 * :func:`quality_drift` — quantify how far two snapshots of the same
   topology have diverged (the trigger signal a deployment would
-  monitor);
-* :func:`replan_cost` — the control-plane overhead of a re-initiation:
-  the pseudo-broadcast flood for node selection plus the rate-control
-  message census, in messages and in channel-seconds.
+  monitor).
+
+The cost model of an actual re-initiation lives one layer up, in
+:mod:`repro.optimization.replanning` — pricing a re-plan runs the
+optimizer, which this package must not import (RPR101 layering).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Optional
+from typing import Dict
 
 import numpy as np
 
 from repro.topology.graph import Link, WirelessNetwork
 from repro.util.rng import RngLike, as_rng
-
-if TYPE_CHECKING:  # type-checking aid without import cycles
-    from repro.optimization.rate_control import RateControlConfig
 
 
 def perturb_link_qualities(
@@ -93,66 +90,3 @@ def quality_drift(
         for link in sorted(union)
     )
     return total / len(union)
-
-
-@dataclass(frozen=True)
-class ReplanCost:
-    """Control-plane cost of one re-initiation (paper Sec. 4 overhead).
-
-    Attributes:
-        flood_transmissions: expected MAC transmissions of the
-            node-selection pseudo-broadcast flood.
-        rate_control_messages: messages exchanged by the distributed
-            rate control run.
-        rate_control_iterations: outer iterations it took.
-        channel_seconds: total airtime of both phases at the network's
-            capacity, assuming ``control_packet_bytes`` per message —
-            the session's data plane is stalled for (at most) this long.
-    """
-
-    flood_transmissions: float
-    rate_control_messages: int
-    rate_control_iterations: int
-    channel_seconds: float
-
-
-def replan_cost(
-    network: WirelessNetwork,
-    source: int,
-    destination: int,
-    *,
-    control_packet_bytes: int = 64,
-    config: Optional["RateControlConfig"] = None,
-) -> ReplanCost:
-    """Measure the full cost of re-initiating one session's control plane.
-
-    Runs the actual node-selection flood cost model and the actual
-    message-passing rate control on the (new) topology, so the returned
-    numbers are measurements, not estimates.
-    """
-    # Imported lazily: repro.topology must stay importable without
-    # dragging in the optimization stack (which itself imports topology).
-    from repro.optimization.messages import MessagePassingRateControl
-    from repro.optimization.problem import session_graph_from_selection
-    from repro.routing.node_selection import select_forwarders
-    from repro.routing.pseudo_broadcast import reliable_flood
-
-    if control_packet_bytes <= 0:
-        raise ValueError("control_packet_bytes must be > 0")
-    flood = reliable_flood(network, source)
-    forwarders = select_forwarders(network, source, destination)
-    graph = session_graph_from_selection(network, forwarders)
-    controller = MessagePassingRateControl(graph, config)
-    result = controller.run()
-    messages = controller.stats.total
-    airtime = (
-        (flood.total_transmissions + messages)
-        * control_packet_bytes
-        / network.capacity
-    )
-    return ReplanCost(
-        flood_transmissions=flood.total_transmissions,
-        rate_control_messages=messages,
-        rate_control_iterations=result.iterations,
-        channel_seconds=airtime,
-    )

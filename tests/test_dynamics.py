@@ -3,10 +3,10 @@
 import numpy as np
 import pytest
 
+from repro.optimization.replanning import replan_cost
 from repro.topology.dynamics import (
     perturb_link_qualities,
     quality_drift,
-    replan_cost,
 )
 from repro.topology.random_network import diamond_topology, random_network
 from repro.util.rng import RngFactory

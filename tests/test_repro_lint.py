@@ -236,6 +236,49 @@ class TestPragmas:
         findings = lint_source(src)
         assert [(f.rule, f.line) for f in findings] == [("RPR002", 3)]
 
+    def test_pragma_on_continuation_line(self):
+        # Black-style wrapping pushes the offending call (and its pragma)
+        # past the statement's anchor line; any physical line of the
+        # statement must honor the pragma.
+        src = (
+            "import time\n"
+            "a = (\n"
+            "    time.time()  # repro: ignore[RPR002]\n"
+            ")\n"
+        )
+        assert rules_of(src) == []
+
+    def test_pragma_on_multiline_call_arguments(self):
+        src = (
+            "import numpy as np\n"
+            "rng = np.random.default_rng(\n"
+            "    42,\n"
+            ")  # repro: ignore[RPR001]\n"
+        )
+        assert rules_of(src) == []
+
+    def test_continuation_pragma_does_not_leak_past_statement(self):
+        src = (
+            "import time\n"
+            "a = (\n"
+            "    time.time()  # repro: ignore[RPR002]\n"
+            ")\n"
+            "b = time.time()\n"
+        )
+        findings = lint_source(src)
+        assert [(f.rule, f.line) for f in findings] == [("RPR002", 5)]
+
+    def test_pragma_on_wrapped_signature(self):
+        # RPR005 anchors on the def; a pragma on the wrapped signature's
+        # closing line still counts.
+        src = (
+            "def run(\n"
+            "    x,\n"
+            "):  # repro: ignore[RPR005]\n"
+            "    return x\n"
+        )
+        assert rules_of(src) == []
+
 
 class TestBaseline:
     def make(self, rule: str = "RPR002", snippet: str = "t = time.time()") -> Finding:
@@ -376,6 +419,32 @@ class TestCli:
         )
         # Refused: the baseline never grows.
         assert load_baseline(baseline) == {}
+
+    def test_update_baseline_keeps_moved_finding(
+        self, tmp_path: Path, monkeypatch
+    ):
+        # The finding drifts to a different line; its fingerprint
+        # (rule, path, snippet) is unchanged, so --update-baseline must
+        # treat it as matched — neither stale-pruned nor newly refused.
+        (tmp_path / "dirty.py").write_text(self.DIRTY)
+        monkeypatch.chdir(tmp_path)
+        baseline = tmp_path / "baseline.json"
+        save_baseline(baseline, lint_source(self.DIRTY, "dirty.py"))
+        (tmp_path / "dirty.py").write_text("\n\n" + self.DIRTY)
+        assert (
+            cli_main(
+                [
+                    "lint", "dirty.py",
+                    "--baseline", str(baseline),
+                    "--update-baseline",
+                ]
+            )
+            == 0
+        )
+        assert len(load_baseline(baseline)) == 1
+        assert (
+            cli_main(["lint", "dirty.py", "--baseline", str(baseline)]) == 0
+        )
 
     def test_update_prunes_stale_entries(self, tmp_path: Path, monkeypatch):
         (tmp_path / "clean.py").write_text(self.CLEAN)
