@@ -107,6 +107,15 @@ def _cmd_fig6(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_fig7(args: argparse.Namespace) -> int:
+    from repro.experiments import fig7_finite_length
+
+    fig7_finite_length.main(
+        smoke=args.smoke, shards=args.shards, policy=policy_from_args(args)
+    )
+    return 0
+
+
 def _cmd_coding_speed(_args: argparse.Namespace) -> int:
     from repro.experiments import coding_speed
 
@@ -159,6 +168,32 @@ def _print_metrics(registry: "obs.MetricsRegistry") -> None:
         print(f"  {name:32s} {_format_metric(record)}")
 
 
+def _fold_coding(
+    config: SessionConfig, network, plan, coding: str
+) -> SessionConfig:
+    """Fold a one-shot ``--coding`` decision into the session config.
+
+    Static runs (and unicast plans, which code nothing) pass through
+    unchanged; adaptive/systematic runs get the controller's initial
+    decision — the same one a scenario run would start from.
+    """
+    from dataclasses import replace
+
+    from repro.protocols.adaptive import make_coding_controller
+
+    controller = make_coding_controller(
+        coding, blocks=config.blocks, block_size=config.block_size
+    )
+    if controller is None:
+        return config
+    decision = controller.decide(network, plan)
+    if decision is None:
+        return config
+    return replace(
+        config, blocks=decision.blocks, systematic=decision.systematic
+    )
+
+
 def _cmd_session(args: argparse.Namespace) -> int:
     apply_gf_backend(args.gf_backend)
     if args.shards < 0:
@@ -177,6 +212,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
     config = SessionConfig(
         max_seconds=args.seconds,
         target_generations=args.generations,
+        blocks=args.blocks,
     )
     # --metrics turns on the global registry so every layer (engine, MAC,
     # decoder, codec kernels) reports without per-call plumbing.
@@ -186,7 +222,10 @@ def _cmd_session(args: argparse.Namespace) -> int:
     adaptive = None
     try:
         if args.scenario:
-            from repro.protocols.adaptive import make_planner
+            from repro.protocols.adaptive import (
+                make_coding_controller,
+                make_planner,
+            )
             from repro.scenario import (
                 load_scenario,
                 make_policy,
@@ -206,6 +245,11 @@ def _cmd_session(args: argparse.Namespace) -> int:
                 config=config,
                 rng=rng.spawn("session"),
                 tracer=tracer,
+                coding_controller=make_coding_controller(
+                    args.coding,
+                    blocks=config.blocks,
+                    block_size=config.block_size,
+                ),
             )
             result = adaptive.session
         elif args.shards:
@@ -218,6 +262,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
                     "omnc": plan_omnc, "more": plan_more, "oldmore": plan_oldmore
                 }
                 plan = planners[args.protocol](network, source, destination)
+                config = _fold_coding(config, network, plan, args.coding)
             result = run_sharded_session(
                 network,
                 plan,
@@ -236,6 +281,7 @@ def _cmd_session(args: argparse.Namespace) -> int:
         else:
             planners = {"omnc": plan_omnc, "more": plan_more, "oldmore": plan_oldmore}
             plan = planners[args.protocol](network, source, destination)
+            config = _fold_coding(config, network, plan, args.coding)
             result = run_coded_session(
                 network,
                 plan,
@@ -255,6 +301,12 @@ def _cmd_session(args: argparse.Namespace) -> int:
     else:
         print(f"  packets:     {result.packets_delivered} delivered")
     print(f"  mean queue:  {result.mean_queue():.2f} packets")
+    if args.coding != "static" and args.protocol != "etx":
+        if args.scenario:
+            print(f"  coding:      {args.coding} (per-epoch controller)")
+        else:
+            flag = ", systematic" if config.systematic else ""
+            print(f"  coding:      {args.coding} (n={config.blocks}{flag})")
     if adaptive is not None:
         print(
             f"  scenario:    {adaptive.scenario} "
@@ -300,7 +352,7 @@ def _cmd_multisession(args: argparse.Namespace) -> int:
             neighbors_per_node=args.density,
             rng=rng.derive("topology"),
         )
-    endpoints = fig6_endpoints(network, args.sessions)
+    endpoints = fig6_endpoints(network, args.sessions, layout=args.layout)
     session_ids = list(range(1, args.sessions + 1))
     if args.protocol == "omnc":
         plans = dict(
@@ -420,6 +472,20 @@ def build_parser() -> argparse.ArgumentParser:
     )
     add_execution_arguments(fig6)
     fig6.set_defaults(func=_cmd_fig6)
+    fig7 = sub.add_parser(
+        "fig7",
+        help="Fig. 7 (extension): finite-length generation sizing and "
+        "systematic coding",
+    )
+    fig7.add_argument(
+        "--smoke", action="store_true", help="CI-sized run (~seconds)"
+    )
+    fig7.add_argument(
+        "--shards", type=int, default=1, metavar="N",
+        help="worker shards per emulated session (1 = serial oracle)",
+    )
+    add_execution_arguments(fig7)
+    fig7.set_defaults(func=_cmd_fig7)
     sub.add_parser(
         "coding-speed", help="accelerated vs baseline codec"
     ).set_defaults(func=_cmd_coding_speed)
@@ -445,6 +511,21 @@ def build_parser() -> argparse.ArgumentParser:
     session.add_argument("--seconds", type=float, default=120.0)
     session.add_argument("--generations", type=int, default=4)
     session.add_argument("--seed", type=int, default=2008)
+    session.add_argument(
+        "--blocks", type=int, default=40,
+        help="packets per generation (default 40, the paper's n; "
+        "<= 255 over GF(2^8))",
+    )
+    session.add_argument(
+        "--coding",
+        choices=("static", "adaptive", "systematic"),
+        default="static",
+        help="generation sizing: static = the configured --blocks; "
+        "adaptive = solve the finite-length model for n from observed "
+        "link loss (re-solved per epoch under --scenario); systematic = "
+        "keep --blocks but emit plain blocks before dense repair "
+        "(decode-cost optimization, exact coding fidelity only)",
+    )
     session.add_argument(
         "--metrics",
         action="store_true",
@@ -522,8 +603,10 @@ def build_parser() -> argparse.ArgumentParser:
     multisession.add_argument("--seed", type=int, default=2008)
     multisession.add_argument(
         "--blocks", type=int, default=8,
-        help="packets per generation (default 8 — small generations so "
-        "short contended runs still complete some)",
+        help="packets per generation (default 8 — deliberately below the "
+        "paper's n = 40: the quick-run default keeps short contended "
+        "multi-session runs decoding whole generations; pass "
+        "--blocks 40 for paper-scale sizing)",
     )
     multisession.add_argument(
         "--block-size", type=int, default=256,
@@ -533,6 +616,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--shards", type=int, default=1, metavar="N",
         help="run the sharded slot loop over N worker processes "
         "(1 = in-process serial; default 1)",
+    )
+    multisession.add_argument(
+        "--layout",
+        choices=("disjoint", "opposing"),
+        default="disjoint",
+        help="endpoint layout: disjoint = node-disjoint pairs (default); "
+        "opposing = consecutive sessions share endpoints in opposite "
+        "directions, so --xor finds COPE-style coding opportunities on "
+        "the random mesh",
     )
     multisession.add_argument(
         "--xor",

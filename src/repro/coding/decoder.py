@@ -88,6 +88,9 @@ class ProgressiveDecoder:
             "redundant", "packets that reduced to zero and were discarded"
         )
         self._m_rank = scope.gauge("rank", "current rank of the active generation")
+        self._m_eliminated = scope.counter(
+            "rows_eliminated", "rows that went through the elimination kernel"
+        )
         self._m_decode_packets = scope.histogram(
             "packets_to_decode", "packets received when rank n was reached"
         )
@@ -201,6 +204,85 @@ class ProgressiveDecoder:
         if self.is_complete:
             self._m_redundant.inc(k)
             return verdicts
+        # Fast path for systematic arrivals: a leading run of plain rows
+        # (unit coefficient vectors on fresh pivot columns) is already
+        # reduced with respect to the stored RREF — Phase 1 would be a
+        # no-op because a unit vector is zero at every stored pivot
+        # column — so the run installs directly, skipping the
+        # elimination kernel entirely.  On a clean link a systematic
+        # generation decodes without a single eliminated row.
+        run, run_cols = self._plain_run(batch)
+        if run:
+            self._install_rows(batch[:run], np.asarray(run_cols, dtype=np.intp))
+            verdicts[:run] = True
+            if run == k or self.is_complete:
+                rest = k - run
+                if rest:
+                    self._m_redundant.inc(rest)
+                return verdicts
+            verdicts[run:] = self._eliminate_batch(batch[run:])
+            return verdicts
+        verdicts[:] = self._eliminate_batch(batch)
+        return verdicts
+
+    def _plain_run(self, batch: np.ndarray) -> "tuple[int, List[int]]":
+        """Length (and pivot columns) of the leading plain-row run.
+
+        A row qualifies while its coefficient half is a unit vector with
+        value 1 on a column that is neither a stored pivot nor claimed
+        earlier in the run.  Dense batches fail on the first row, so the
+        scan costs one nonzero count in the common case.
+        """
+        blocks = self._blocks
+        taken = np.zeros(blocks, dtype=bool)
+        taken[self._pivot_cols[: self._innovative]] = True
+        limit = self._blocks - self._innovative
+        cols: List[int] = []
+        for row in batch:
+            if len(cols) >= limit:
+                break
+            nonzero = np.nonzero(row[:blocks])[0]
+            if nonzero.size != 1:
+                break
+            col = int(nonzero[0])
+            if row[col] != 1 or taken[col]:
+                break
+            taken[col] = True
+            cols.append(col)
+        return len(cols), cols
+
+    def _install_rows(self, fresh: np.ndarray, fresh_cols: np.ndarray) -> None:
+        """Install already-reduced rows: back-substitute + sorted merge.
+
+        ``fresh`` rows must be mutually reduced, normalized, and zero at
+        every stored pivot column, with pivots ``fresh_cols`` — exactly
+        what the plain-run scan guarantees.
+        """
+        rank = self._innovative
+        added = fresh.shape[0]
+        if rank:
+            old = self._matrix[:rank]
+            old_coeffs = old[:, fresh_cols]
+            if old_coeffs.any():
+                np.bitwise_xor(old, self._field.matmul(old_coeffs, fresh), out=old)
+        merged_cols = np.concatenate([self._pivot_cols[:rank], fresh_cols])
+        order = np.argsort(merged_cols, kind="stable")
+        merged = np.concatenate([self._matrix[:rank], fresh], axis=0)
+        total = rank + added
+        self._matrix[:total] = merged[order]
+        self._pivot_cols[:total] = merged_cols[order]
+        self._innovative = total
+        self._m_innovative.inc(added)
+        self._m_rank.set(total)
+        if self.is_complete:
+            self._m_decode_packets.observe(self._received)
+            self._m_overhead.observe(self._received - self._innovative)
+
+    def _eliminate_batch(self, batch: np.ndarray) -> np.ndarray:
+        """Run a batch through the full elimination kernel (Phases 1-4)."""
+        k = batch.shape[0]
+        verdicts = np.zeros(k, dtype=bool)
+        self._m_eliminated.inc(k)
         field = self._field
         blocks = self._blocks
         rank = self._innovative
@@ -256,29 +338,12 @@ class ProgressiveDecoder:
                 fresh[:, blocks:] = field.matmul(
                     work[pivot_rows, blocks:], batch[:, blocks:]
                 )
-        # Phase 3: back-substitute all new pivots into the old rows with
-        # one product (the new rows are mutually reduced and zero in the
-        # old pivot columns, so the product clears exactly the new
-        # columns).
-        if rank:
-            old = self._matrix[:rank]
-            old_coeffs = old[:, fresh_cols]
-            if old_coeffs.any():
-                np.bitwise_xor(old, field.matmul(old_coeffs, fresh), out=old)
-        # Phase 4: merge, keeping rows sorted by pivot column.
-        merged_cols = np.concatenate([self._pivot_cols[:rank], fresh_cols])
-        order = np.argsort(merged_cols, kind="stable")
-        merged = np.concatenate([self._matrix[:rank], fresh], axis=0)
-        total = rank + added
-        self._matrix[:total] = merged[order]
-        self._pivot_cols[:total] = merged_cols[order]
-        self._innovative = total
-        self._m_innovative.inc(added)
+        # Phases 3-4 (back-substitution into the old rows + sorted
+        # merge) are shared with the plain-row fast path: the fresh rows
+        # are mutually reduced, normalized, and zero in the old pivot
+        # columns, which is exactly the _install_rows contract.
+        self._install_rows(fresh, np.asarray(fresh_cols, dtype=np.intp))
         self._m_redundant.inc(k - added)
-        self._m_rank.set(total)
-        if self.is_complete:
-            self._m_decode_packets.observe(self._received)
-            self._m_overhead.observe(self._received - self._innovative)
         return verdicts
 
     def coefficient_matrix(self) -> np.ndarray:

@@ -33,6 +33,13 @@ class SourceEncoder:
 
     ``field=None`` (the default) resolves the process-active backend
     from :mod:`repro.coding.backends` at construction time.
+
+    With ``systematic=True`` the first ``n`` packets of each generation
+    are the plain blocks themselves (identity coding vectors, in block
+    order); only repair packets past ``n`` are dense random
+    combinations.  On clean links a decoder then places every row
+    without Gaussian elimination, and the delivered payloads are
+    byte-identical to dense RLNC either way.
     """
 
     def __init__(
@@ -43,12 +50,14 @@ class SourceEncoder:
         *,
         field: Optional[FieldType] = None,
         payload: bool = True,
+        systematic: bool = False,
     ) -> None:
         self._session_id = session_id
         self._generation = generation
         self._rng = rng
         self._field = resolve_field(field)
         self._payload = payload
+        self._systematic = systematic
         self._emitted = 0
 
     @property
@@ -69,6 +78,20 @@ class SourceEncoder:
         emitted packet carries information.
         """
         n = self._generation.matrix.shape[0]
+        if self._systematic and self._emitted < n:
+            index = self._emitted
+            vector = np.zeros(n, dtype=np.uint8)
+            vector[index] = 1
+            payload = None
+            if self._payload:
+                payload = self._generation.matrix[index]
+            self._emitted += 1
+            return CodedPacket(
+                session_id=self._session_id,
+                generation_id=self._generation.generation_id,
+                coefficients=vector,
+                payload=payload,
+            )
         vector = self._rng.integers(0, 256, size=n, dtype=np.uint8)
         while not np.any(vector):
             vector = self._rng.integers(0, 256, size=n, dtype=np.uint8)
@@ -95,6 +118,25 @@ class SourceEncoder:
         if count <= 0:
             raise ValueError(f"count must be > 0, got {count}")
         n = self._generation.matrix.shape[0]
+        plain: List[CodedPacket] = []
+        if self._systematic and self._emitted < n:
+            take = min(count, n - self._emitted)
+            start = self._emitted
+            vectors = np.zeros((take, n), dtype=np.uint8)
+            vectors[np.arange(take), np.arange(start, start + take)] = 1
+            payloads = None
+            if self._payload:
+                payloads = self._generation.matrix[start : start + take]
+            plain = CodedPacket.batch_from_rows(
+                self._session_id,
+                self._generation.generation_id,
+                vectors,
+                payloads,
+            )
+            self._emitted += take
+            count -= take
+            if count == 0:
+                return plain
         matrix = self._rng.integers(0, 256, size=(count, n), dtype=np.uint8)
         zero = ~matrix.any(axis=1)
         while zero.any():
@@ -106,7 +148,7 @@ class SourceEncoder:
         if self._payload:
             payloads = self._field.matmul(matrix, self._generation.matrix)
         self._emitted += count
-        return CodedPacket.batch_from_rows(
+        return plain + CodedPacket.batch_from_rows(
             self._session_id,
             self._generation.generation_id,
             matrix,
@@ -185,21 +227,23 @@ class RelayReEncoder:
 
         Packets from an expired (lower) generation are rejected; a packet
         with a *higher* generation ID flushes the buffer and moves the
-        relay forward (Sec. 4).
+        relay forward (Sec. 4).  A packet whose generation size differs
+        from the relay's is dropped, not an error: when a session
+        switches generation size at a boundary (adaptive-n), stale-sized
+        packets are legitimately in flight until every node crosses the
+        boundary.
         """
         if packet.session_id != self._session_id:
             raise ValueError(
                 f"packet belongs to session {packet.session_id}, "
                 f"relay handles {self._session_id}"
             )
-        if packet.blocks != self._blocks:
-            raise ValueError(
-                f"packet generation size {packet.blocks} != relay's {self._blocks}"
-            )
         if packet.generation_id < self._generation_id:
             return False
         if packet.generation_id > self._generation_id:
             self.advance(packet.generation_id)
+        if packet.blocks != self._blocks:
+            return False
         if self.is_full:
             return False
         if not self._reduce(packet.coefficients.copy()):

@@ -18,6 +18,11 @@ from repro.util.validation import check_positive, check_type
 DEFAULT_BLOCKS_PER_GENERATION = 40
 DEFAULT_BLOCK_SIZE = 1024
 
+# Each coded packet carries one coefficient byte per block, so a
+# generation over GF(2^8) can address at most 255 pivot columns before
+# coefficient values and column indices stop fitting the wire header.
+MAX_GENERATION_BLOCKS = 255
+
 
 @dataclass(frozen=True)
 class GenerationParams:
@@ -36,6 +41,11 @@ class GenerationParams:
         check_type("block_size", self.block_size, int)
         check_positive("blocks", self.blocks)
         check_positive("block_size", self.block_size)
+        if self.blocks > MAX_GENERATION_BLOCKS:
+            raise ValueError(
+                f"blocks must be <= {MAX_GENERATION_BLOCKS} "
+                f"(GF(2^8) coefficient-header limit), got {self.blocks}"
+            )
 
     @property
     def generation_bytes(self) -> int:

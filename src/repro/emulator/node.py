@@ -31,6 +31,7 @@ from repro.coding.decoder import ProgressiveDecoder
 from repro.coding.encoder import RelayReEncoder, SourceEncoder
 from repro.coding.generation import Generation
 from repro.coding.packet import CodedPacket
+from repro.emulator.plan import CodingParams
 
 #: Anything a runtime can put on the air.  Subclasses narrow ``packet``
 #: parameters to their own family's type; a session only ever wires
@@ -132,6 +133,7 @@ class CodedSourceRuntime(NodeRuntime):
         rng: np.random.Generator,
         *,
         queue_limit: int = DEFAULT_QUEUE_LIMIT,
+        systematic: bool = False,
     ) -> None:
         super().__init__(node_id)
         if rate_bps < 0:
@@ -144,6 +146,8 @@ class CodedSourceRuntime(NodeRuntime):
         self._packet_bytes = packet_bytes
         self._rng = rng
         self._queue_limit = queue_limit
+        self._systematic = systematic
+        self._pending_coding: CodingParams | None = None
         self._credit = 0.0
         self._queue: Deque[CodedPacket] = deque()
         self._generation_id = 0
@@ -161,13 +165,27 @@ class CodedSourceRuntime(NodeRuntime):
             Generation(generation_id, matrix),
             self._rng,
             payload=False,
+            systematic=self._systematic,
         )
 
-    def apply_plan(self, *, rate_bps: float) -> None:
-        """Hot-swap the allocated source rate; encoder and queue persist."""
-        if rate_bps < 0:
-            raise ValueError(f"rate_bps must be >= 0, got {rate_bps}")
-        self._rate = rate_bps
+    def apply_plan(
+        self,
+        *,
+        rate_bps: float | None = None,
+        coding: CodingParams | None = None,
+    ) -> None:
+        """Hot-swap the allocated source rate; encoder and queue persist.
+
+        A ``coding`` decision is *deferred*: it takes effect at the next
+        generation boundary, so the in-flight generation keeps its size
+        and every in-progress decode stays valid.
+        """
+        if rate_bps is not None:
+            if rate_bps < 0:
+                raise ValueError(f"rate_bps must be >= 0, got {rate_bps}")
+            self._rate = rate_bps
+        if coding is not None:
+            self._pending_coding = coding
 
     def on_slot(self, dt: float) -> None:
         self._credit += self._rate * dt / self._packet_bytes
@@ -207,6 +225,11 @@ class CodedSourceRuntime(NodeRuntime):
         if generation_id <= self._generation_id:
             return
         self._generation_id = generation_id
+        pending = self._pending_coding
+        if pending is not None:
+            self._blocks = pending.blocks
+            self._systematic = pending.systematic
+            self._pending_coding = None
         self._encoder = self._make_encoder(generation_id)
         self._queue.clear()
         # Credit persists: the source keeps its long-run rate across
@@ -251,6 +274,7 @@ class CodedRelayRuntime(NodeRuntime):
         self._upstream = frozenset(upstream)
         self._queue_limit = queue_limit
         self._buffer = RelayReEncoder(session_id, blocks, rng)
+        self._pending_coding: CodingParams | None = None
         self._credit = 0.0
         self._queue: Deque[CodedPacket] = deque()
         self._demand_ewma = 0.2
@@ -281,6 +305,7 @@ class CodedRelayRuntime(NodeRuntime):
         rate_bps: float | None = None,
         tx_credit: float | None = None,
         upstream: Tuple[int, ...] | None = None,
+        coding: CodingParams | None = None,
     ) -> None:
         """Hot-swap rate/credit parameters; the coding buffer persists.
 
@@ -288,7 +313,9 @@ class CodedRelayRuntime(NodeRuntime):
         credit and upstream set (MORE/oldMORE), or even the drive mode.
         Buffered innovative packets, the transmit queue and banked credit
         all survive — the whole point of a live swap is not to throw away
-        decoder-feeding state the session already paid airtime for.
+        decoder-feeding state the session already paid airtime for.  A
+        ``coding`` decision is deferred to the next generation boundary,
+        where the buffer is flushed anyway.
         """
         if mode is not None:
             if mode not in ("rate", "credit"):
@@ -304,6 +331,8 @@ class CodedRelayRuntime(NodeRuntime):
             self._tx_credit = tx_credit
         if upstream is not None:
             self._upstream = frozenset(upstream)
+        if coding is not None:
+            self._pending_coding = coding
 
     def on_slot(self, dt: float) -> None:
         if self._mode == "rate":
@@ -369,6 +398,25 @@ class CodedRelayRuntime(NodeRuntime):
     def advance_generation(self, generation_id: int) -> None:
         if generation_id <= self._buffer.generation_id:
             return
+        pending = self._pending_coding
+        if pending is not None:
+            self._pending_coding = None
+            if pending.blocks != self._blocks:
+                # The buffer's vector width is the generation size, so a
+                # size switch rebuilds it (empty, at the new generation).
+                # Stale-sized packets still in flight are dropped by the
+                # re-encoder's accept(), not raised.
+                self._blocks = pending.blocks
+                self._buffer = RelayReEncoder(
+                    self._session_id,
+                    self._blocks,
+                    self._rng,
+                    generation_id=generation_id,
+                )
+                self._queue.clear()
+                if self._mode == "credit":
+                    self._credit = 0.0
+                return
         self._buffer.advance(generation_id)
         self._queue.clear()
         if self._mode == "credit":
@@ -391,14 +439,25 @@ class CodedDestinationRuntime(NodeRuntime):
         self._on_decoded = on_decoded
         self._generation_id = 0
         self._decoder = ProgressiveDecoder(blocks)
+        self._pending_coding: CodingParams | None = None
         self.packets_heard = 0
         self.innovative_received = 0
         self.generations_decoded = 0
+        self.blocks_decoded = 0
 
     @property
     def rank(self) -> int:
         """Current decoder rank for the active generation."""
         return self._decoder.rank
+
+    def apply_plan(  # type: ignore[override]
+        self, *, coding: CodingParams | None = None, **_params: object
+    ) -> None:
+        """Destinations carry no rate/credit state but do track the
+        generation size: a ``coding`` decision re-sizes the decoder at
+        the next boundary.  Everything else is ignored, as in the base."""
+        if coding is not None:
+            self._pending_coding = coding
 
     def on_receive(  # type: ignore[override]
         self, packet: CodedPacket, sender: int
@@ -407,6 +466,8 @@ class CodedDestinationRuntime(NodeRuntime):
             return
         if packet.generation_id != self._generation_id:
             return  # stale or early packet for another generation
+        if packet.blocks != self._blocks:
+            return  # stale-sized packet across an adaptive-n boundary
         self.packets_heard += 1
         if self._decoder.is_complete:
             return
@@ -414,6 +475,7 @@ class CodedDestinationRuntime(NodeRuntime):
             self.innovative_received += 1
             if self._decoder.is_complete:
                 self.generations_decoded += 1
+                self.blocks_decoded += self._blocks
                 # The uncoded ACK travels back to the source; the session
                 # driver models its (fast, reliable) best-path delivery.
                 self._on_decoded(self._generation_id)
@@ -427,6 +489,7 @@ class CodedDestinationRuntime(NodeRuntime):
             for packet in packets
             if packet.session_id == self._session_id
             and packet.generation_id == self._generation_id
+            and packet.blocks == self._blocks
         ]
         if not accepted:
             return
@@ -437,12 +500,17 @@ class CodedDestinationRuntime(NodeRuntime):
         self.innovative_received += int(np.count_nonzero(verdicts))
         if self._decoder.is_complete:
             self.generations_decoded += 1
+            self.blocks_decoded += self._blocks
             self._on_decoded(self._generation_id)
 
     def advance_generation(self, generation_id: int) -> None:
         if generation_id <= self._generation_id:
             return
         self._generation_id = generation_id
+        pending = self._pending_coding
+        if pending is not None:
+            self._blocks = pending.blocks
+            self._pending_coding = None
         self._decoder = ProgressiveDecoder(self._blocks)
 
 
@@ -498,6 +566,7 @@ class FlowSourceRuntime(NodeRuntime):
         self._rate = rate_bps
         self._packet_bytes = packet_bytes
         self._queue_limit = queue_limit
+        self._pending_coding: CodingParams | None = None
         self._credit = 0.0
         self._queue: Deque[FlowPacket] = deque()
         self._generation_id = 0
@@ -505,11 +574,24 @@ class FlowSourceRuntime(NodeRuntime):
         self.packets_sent = 0
         self.packets_dropped = 0
 
-    def apply_plan(self, *, rate_bps: float) -> None:
-        """Hot-swap the allocated source rate; queue and credit persist."""
-        if rate_bps < 0:
-            raise ValueError(f"rate_bps must be >= 0, got {rate_bps}")
-        self._rate = rate_bps
+    def apply_plan(
+        self,
+        *,
+        rate_bps: float | None = None,
+        coding: CodingParams | None = None,
+    ) -> None:
+        """Hot-swap the allocated source rate; queue and credit persist.
+
+        A ``coding`` decision takes effect at the next generation
+        boundary (systematic mode has no flow-fidelity analogue — only
+        the generation size matters here).
+        """
+        if rate_bps is not None:
+            if rate_bps < 0:
+                raise ValueError(f"rate_bps must be >= 0, got {rate_bps}")
+            self._rate = rate_bps
+        if coding is not None:
+            self._pending_coding = coding
 
     def on_slot(self, dt: float) -> None:
         self._credit += self._rate * dt / self._packet_bytes
@@ -542,6 +624,10 @@ class FlowSourceRuntime(NodeRuntime):
         if generation_id <= self._generation_id:
             return
         self._generation_id = generation_id
+        pending = self._pending_coding
+        if pending is not None:
+            self._blocks = pending.blocks
+            self._pending_coding = None
         self._queue.clear()
 
 
@@ -584,6 +670,7 @@ class FlowRelayRuntime(NodeRuntime):
         self._tx_credit = tx_credit
         self._upstream = frozenset(upstream)
         self._queue_limit = queue_limit
+        self._pending_coding: CodingParams | None = None
         self._generation_id = 0
         self.information = 0.0
         self._credit = 0.0
@@ -608,8 +695,13 @@ class FlowRelayRuntime(NodeRuntime):
         rate_bps: float | None = None,
         tx_credit: float | None = None,
         upstream: Tuple[int, ...] | None = None,
+        coding: CodingParams | None = None,
     ) -> None:
-        """Hot-swap rate/credit parameters; the information level persists."""
+        """Hot-swap rate/credit parameters; the information level persists.
+
+        A ``coding`` decision takes effect at the next generation
+        boundary, where the information level resets anyway.
+        """
         if mode is not None:
             if mode not in ("rate", "credit"):
                 raise ValueError(f"unknown relay mode {mode!r}")
@@ -624,6 +716,8 @@ class FlowRelayRuntime(NodeRuntime):
             self._tx_credit = tx_credit
         if upstream is not None:
             self._upstream = frozenset(upstream)
+        if coding is not None:
+            self._pending_coding = coding
 
     def on_slot(self, dt: float) -> None:
         if self._mode == "rate":
@@ -685,6 +779,10 @@ class FlowRelayRuntime(NodeRuntime):
         if generation_id <= self._generation_id:
             return
         self._generation_id = generation_id
+        pending = self._pending_coding
+        if pending is not None:
+            self._blocks = pending.blocks
+            self._pending_coding = None
         self.information = 0.0
         self._queue.clear()
         if self._mode == "credit":
@@ -707,14 +805,24 @@ class FlowDestinationRuntime(NodeRuntime):
         self._on_decoded = on_decoded
         self._generation_id = 0
         self.information = 0.0
+        self._pending_coding: CodingParams | None = None
         self.packets_heard = 0
         self.innovative_received = 0
         self.generations_decoded = 0
+        self.blocks_decoded = 0
 
     @property
     def rank(self) -> int:
         """Information units gathered for the active generation."""
         return int(self.information)
+
+    def apply_plan(  # type: ignore[override]
+        self, *, coding: "CodingParams | None" = None, **_params: object
+    ) -> None:
+        """Track ``coding`` decisions (decode target re-sizes at the next
+        boundary); every other parameter is ignored, as in the base."""
+        if coding is not None:
+            self._pending_coding = coding
 
     def on_receive(  # type: ignore[override]
         self, packet: FlowPacket, sender: int
@@ -731,12 +839,17 @@ class FlowDestinationRuntime(NodeRuntime):
             self.innovative_received += 1
             if self.information >= self._blocks:
                 self.generations_decoded += 1
+                self.blocks_decoded += self._blocks
                 self._on_decoded(self._generation_id)
 
     def advance_generation(self, generation_id: int) -> None:
         if generation_id <= self._generation_id:
             return
         self._generation_id = generation_id
+        pending = self._pending_coding
+        if pending is not None:
+            self._blocks = pending.blocks
+            self._pending_coding = None
         self.information = 0.0
 
 

@@ -32,7 +32,36 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, FrozenSet, Tuple
 
+from repro.coding.generation import GenerationParams
 from repro.routing.node_selection import ForwarderSet
+
+
+@dataclass(frozen=True)
+class CodingParams:
+    """A per-session (or per-epoch) coding decision carried by plans.
+
+    Attributes:
+        blocks: generation size n the session should use from the next
+            generation boundary onward.
+        systematic: emit each generation's blocks plainly first, with
+            dense RLNC repair packets after (decode-cost optimization;
+            delivered payloads are byte-identical either way).
+
+    The dataclass is deliberately tiny and picklable: it crosses shard
+    worker pipes verbatim inside ``apply_plan`` updates.
+    """
+
+    blocks: int
+    systematic: bool = False
+
+    def __post_init__(self) -> None:
+        # Reuse the canonical generation-size validation (positive int,
+        # GF(2^8) coefficient-header limit of 255).
+        GenerationParams(blocks=self.blocks, block_size=1)
+        if not isinstance(self.systematic, bool):
+            raise TypeError(
+                f"systematic must be bool, got {type(self.systematic).__name__}"
+            )
 
 
 @dataclass(frozen=True)
@@ -47,12 +76,17 @@ class CodedBroadcastPlan:
             the paper compares emulated against predicted throughput.
         iterations: rate-control iterations spent (0 if planned via the
             centralized LP).
+        coding: optional coding decision for the session; ``None`` keeps
+            the session config's generation size.  Carried on the plan so
+            a control plane can size generations per epoch and the data
+            plane can honor the switch at a generation boundary.
     """
 
     forwarders: ForwarderSet
     rates: Dict[int, float]
     predicted_throughput: float
     iterations: int = 0
+    coding: "CodingParams | None" = None
 
     def __post_init__(self) -> None:
         for node, rate in self.rates.items():

@@ -13,13 +13,14 @@ offered load at half the channel capacity, throughput computed at each
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Callable, Dict, List, Tuple
 
 from repro import obs
 from repro.coding.generation import (
     DEFAULT_BLOCK_SIZE,
     DEFAULT_BLOCKS_PER_GENERATION,
+    MAX_GENERATION_BLOCKS,
 )
 from repro.coding.packet import HEADER_BYTES
 from repro.emulator.channel import LossyBroadcastChannel
@@ -72,6 +73,9 @@ class SessionConfig:
             compares the two — exact coding reveals how much the
             independence assumption overstates multipath capacity on deep
             forwarder DAGs.
+        systematic: sources emit each generation's blocks plainly before
+            dense repair packets (decode-cost optimization, exact
+            fidelity only — flow fidelity has no elimination to skip).
     """
 
     blocks: int = DEFAULT_BLOCKS_PER_GENERATION
@@ -82,10 +86,20 @@ class SessionConfig:
     queue_limit: int = 500
     interference: str = "blanking"
     coding_fidelity: str = "flow"
+    systematic: bool = False
 
     def __post_init__(self) -> None:
         if self.blocks <= 0 or self.block_size <= 0:
             raise ValueError("blocks and block_size must be > 0")
+        if self.blocks > MAX_GENERATION_BLOCKS:
+            raise ValueError(
+                f"blocks must be <= {MAX_GENERATION_BLOCKS} "
+                f"(GF(2^8) coefficient-header limit), got {self.blocks}"
+            )
+        if not isinstance(self.systematic, bool):
+            raise TypeError(
+                f"systematic must be bool, got {type(self.systematic).__name__}"
+            )
         if not 0.0 < self.cbr_fraction <= 1.0:
             raise ValueError("cbr_fraction must be in (0, 1]")
         if self.max_seconds <= 0:
@@ -190,6 +204,22 @@ class _AckTracker:
             self.pending_advance = None
 
 
+def plan_coding_config(config: SessionConfig, plan: SessionPlan) -> SessionConfig:
+    """Fold a plan-carried coding decision into the session config.
+
+    Plans that carry :class:`~repro.emulator.plan.CodingParams` (today:
+    :class:`CodedBroadcastPlan`) override the config's generation size
+    and systematic flag for the whole session; plans without one leave
+    the config untouched.  Every session entry point applies this before
+    sizing slots or building runtimes, so a plan-carried decision and an
+    explicitly configured one behave identically.
+    """
+    coding = getattr(plan, "coding", None)
+    if coding is None:
+        return config
+    return replace(config, blocks=coding.blocks, systematic=coding.systematic)
+
+
 def build_plan_runtimes(
     network: WirelessNetwork,
     plan: SessionPlan,
@@ -207,7 +237,7 @@ def build_plan_runtimes(
     the destination runtime (wired to ``on_decoded``), unicast plans
     wire the destination's delivery callback to ``on_delivered``.
     """
-    config = config or SessionConfig()
+    config = plan_coding_config(config or SessionConfig(), plan)
     rng = rng or RngFactory(0)
     if isinstance(plan, CodedBroadcastPlan):
         runtimes, label = _build_rate_runtimes(
@@ -255,7 +285,7 @@ def run_coded_session(
     ``with obs.collecting():`` block instruments the whole session with
     no further plumbing.
     """
-    config = config or SessionConfig()
+    config = plan_coding_config(config or SessionConfig(), plan)
     rng = rng or RngFactory(0)
     if not isinstance(plan, (CodedBroadcastPlan, CreditBroadcastPlan)):
         raise TypeError(f"unsupported plan type {type(plan).__name__}")
@@ -336,6 +366,7 @@ def _build_rate_runtimes(
                     packet_bytes,
                     rng.derive("coding", node),
                     queue_limit=config.queue_limit,
+                    systematic=config.systematic,
                 )
             else:
                 runtimes[node] = FlowSourceRuntime(
@@ -401,6 +432,7 @@ def _build_credit_runtimes(
                     packet_bytes,
                     rng.derive("coding", node),
                     queue_limit=config.queue_limit,
+                    systematic=config.systematic,
                 )
             else:
                 runtimes[node] = FlowSourceRuntime(
@@ -456,11 +488,16 @@ def _coded_result(
     runtimes: Dict[int, NodeRuntime],
 ) -> SessionResult:
     generations = dest_runtime.generations_decoded
+    # Decoded-blocks accounting: for static sessions this is exactly
+    # generations * config.blocks (same integer product, bit-identical
+    # throughput); for adaptive-n sessions it credits each generation at
+    # the size it actually ran.
+    blocks_decoded = dest_runtime.blocks_decoded
     if tracker.ack_times:
         # Paper: throughput computed at each decoded ACK, averaged over
         # the session == total decoded payload over time of last ACK.
         elapsed = tracker.ack_times[-1]
-        throughput = generations * config.generation_bytes() / elapsed
+        throughput = blocks_decoded * config.block_size / elapsed
     else:
         throughput = 0.0
     return SessionResult(
@@ -470,7 +507,7 @@ def _coded_result(
         throughput_bps=throughput,
         duration=stats.elapsed,
         generations_decoded=generations,
-        packets_delivered=generations * config.blocks,
+        packets_delivered=blocks_decoded,
         ack_times=tuple(tracker.ack_times),
         average_queues={
             n: stats.average_queue(n) for n in runtimes

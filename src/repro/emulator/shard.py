@@ -59,6 +59,7 @@ from repro.emulator.session import (
     SessionConfig,
     SessionResult,
     build_plan_runtimes,
+    plan_coding_config,
 )
 from repro.emulator.trace import SessionTracer
 from repro.emulator.plan import SessionPlan, UnicastPathPlan
@@ -934,7 +935,7 @@ def run_sharded_session(
     (equally valid) deterministic universe than the global-stream
     serial drivers.
     """
-    config = config or SessionConfig()
+    config = plan_coding_config(config or SessionConfig(), plan)
     rng = rng or RngFactory(0)
     decode_log = _DecodeLog()
     delivery_log = _DeliveryLog()

@@ -156,14 +156,33 @@ def fig6_network(config: Fig6Config) -> WirelessNetwork:
 
 
 def fig6_endpoints(
-    network: WirelessNetwork, count: int
+    network: WirelessNetwork, count: int, *, layout: str = "disjoint"
 ) -> Tuple[Tuple[int, int], ...]:
-    """Deterministic node-disjoint endpoint pairs, all MORE-feasible.
+    """Deterministic MORE-feasible endpoint pairs, in a chosen layout.
 
     Scans sources ascending and destinations descending so the chosen
     pairs are a pure function of the topology; every pair admits a
     MORE plan (and hence an OMNC plan — same forwarder selection).
+
+    Layouts:
+
+    * ``"disjoint"`` (default) — node-disjoint pairs: independent
+      sessions that only contend for airtime.
+    * ``"opposing"`` — consecutive sessions run the *same* endpoints in
+      opposite directions ((s, d), (d, s), ...), manufacturing
+      COPE-style bidirectional exchanges on the random mesh: relays
+      shared by a session pair carry traffic both ways, which is the
+      eligibility condition of
+      :func:`repro.protocols.intersession.plan_intersession_pairs` —
+      inter-session XOR fires outside the hand-built Alice-Bob chain.
+      Endpoint *pairs* stay node-disjoint from each other; both flow
+      directions must be plannable, and among a source's feasible
+      destinations the first whose two directed plans share an
+      XOR-eligible relay wins (falling back to plain feasibility when
+      the mesh offers no such relay for that source).
     """
+    if layout not in ("disjoint", "opposing"):
+        raise ValueError(f"unknown endpoint layout {layout!r}")
     pairs: List[Tuple[int, int]] = []
     used: set[int] = set()
     for source in range(network.node_count):
@@ -171,19 +190,40 @@ def fig6_endpoints(
             break
         if source in used:
             continue
+        chosen: Tuple[int, int] | None = None
+        fallback: Tuple[int, int] | None = None
         for destination in range(network.node_count - 1, -1, -1):
             if destination == source or destination in used:
                 continue
             try:
-                plan_more(network, source, destination)
+                forward = plan_more(network, source, destination)
+                reverse = (
+                    plan_more(network, destination, source)
+                    if layout == "opposing"
+                    else None
+                )
             except NodeSelectionError:
                 continue
-            pairs.append((source, destination))
-            used.update((source, destination))
-            break
+            if layout == "disjoint":
+                chosen = (source, destination)
+                break
+            assert reverse is not None
+            if plan_intersession_pairs({1: forward, 2: reverse}):
+                chosen = (source, destination)
+                break
+            if fallback is None:
+                fallback = (source, destination)
+        if chosen is None:
+            chosen = fallback
+        if chosen is None:
+            continue
+        pairs.append(chosen)
+        if layout == "opposing" and len(pairs) < count:
+            pairs.append((chosen[1], chosen[0]))
+        used.update(chosen)
     if len(pairs) < count:
         raise RuntimeError(
-            f"only {len(pairs)} disjoint feasible sessions on the "
+            f"only {len(pairs)} {layout} feasible sessions on the "
             f"experiment network, needed {count}"
         )
     return tuple(pairs)

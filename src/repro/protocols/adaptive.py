@@ -22,9 +22,12 @@ from __future__ import annotations
 
 from typing import List, Tuple
 
+from repro.coding.finite_length import DEFAULT_CANDIDATES, optimal_blocks
+from repro.coding.generation import DEFAULT_BLOCK_SIZE
 from repro.optimization.rate_control import RateControlConfig, RateControlDuals
 from repro.protocols.base import (
     CodedBroadcastPlan,
+    CodingParams,
     CreditBroadcastPlan,
     SessionPlan,
     UnicastPathPlan,
@@ -169,6 +172,118 @@ class AdaptiveEtxPlanner(AdaptivePlanner):
 
     def control_cost_seconds(self, network: WirelessNetwork) -> float:
         return self._flood_seconds(network)
+
+
+class CodingController:
+    """Per-epoch finite-length coding decisions for a live session.
+
+    The adaptive planners above decide *who forwards at what rate*; this
+    controller decides *how the session codes*: the generation size n
+    and whether encoding is systematic.  Each epoch the runner hands it
+    the drifted topology and the active plan; it estimates the session's
+    loss rate from the link qualities among the plan's participants and
+    (in ``"adaptive"`` mode) solves
+    :func:`repro.coding.finite_length.optimal_blocks` for the n that
+    minimizes expected per-block overhead within the decoding-delay
+    budget.  Decisions ride the runtimes' ``apply_plan(coding=...)``
+    path, so they take effect at the next generation boundary and never
+    invalidate an in-flight decode.
+
+    Modes:
+
+    * ``"adaptive"`` — re-solve n from the observed qualities each
+      epoch (dense encoding);
+    * ``"systematic"`` — keep the configured n but emit each
+      generation's blocks plainly first with dense repair after.
+    """
+
+    def __init__(
+        self,
+        mode: str,
+        *,
+        blocks: int,
+        block_size: int = DEFAULT_BLOCK_SIZE,
+        candidates: Tuple[int, ...] = DEFAULT_CANDIDATES,
+    ) -> None:
+        if mode not in ("adaptive", "systematic"):
+            raise ValueError(
+                f"mode must be 'adaptive' or 'systematic', got {mode!r}"
+            )
+        # Validate blocks/block_size through the canonical checks.
+        CodingParams(blocks=blocks)
+        self._mode = mode
+        self._blocks = blocks
+        self._block_size = block_size
+        self._candidates = candidates
+        self._history: List[CodingParams] = []
+
+    @property
+    def mode(self) -> str:
+        """Controller mode (``"adaptive"`` or ``"systematic"``)."""
+        return self._mode
+
+    @property
+    def history(self) -> Tuple[CodingParams, ...]:
+        """Every decision produced so far, in order."""
+        return tuple(self._history)
+
+    @staticmethod
+    def estimate_loss(network: WirelessNetwork, plan: SessionPlan) -> float:
+        """Mean loss rate over the directed links among plan participants.
+
+        The session only ever transmits on links whose both endpoints
+        participate in the plan, so averaging (1 - p_ij) over that
+        subgraph is the loss the finite-length model should see.  Falls
+        back to 0 when the plan spans no internal links (degenerate
+        single-hop layouts).
+        """
+        if isinstance(plan, UnicastPathPlan):
+            participants = frozenset(plan.path)
+        else:
+            participants = plan.active_nodes()
+        losses = [
+            1.0 - prob
+            for i, j, prob in network.links()
+            if i in participants and j in participants
+        ]
+        if not losses:
+            return 0.0
+        return sum(losses) / len(losses)
+
+    def decide(
+        self, network: WirelessNetwork, plan: SessionPlan
+    ) -> CodingParams | None:
+        """Pick coding parameters for the current epoch (None = keep)."""
+        if isinstance(plan, UnicastPathPlan):
+            return None  # store-and-forward: nothing is coded
+        if self._mode == "systematic":
+            params = CodingParams(blocks=self._blocks, systematic=True)
+        else:
+            loss = self.estimate_loss(network, plan)
+            blocks = optimal_blocks(
+                loss,
+                block_size=self._block_size,
+                candidates=self._candidates,
+            )
+            params = CodingParams(blocks=blocks)
+        self._history.append(params)
+        return params
+
+
+def make_coding_controller(
+    coding: str,
+    *,
+    blocks: int,
+    block_size: int = DEFAULT_BLOCK_SIZE,
+) -> CodingController | None:
+    """Coding-controller factory keyed by the CLI's ``--coding`` names.
+
+    ``"static"`` — the paper's fixed generation size — needs no
+    controller and maps to ``None``.
+    """
+    if coding == "static":
+        return None
+    return CodingController(coding, blocks=blocks, block_size=block_size)
 
 
 def make_planner(

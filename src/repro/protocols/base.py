@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from repro.emulator.plan import (
     CodedBroadcastPlan,
+    CodingParams,
     CreditBroadcastPlan,
     SessionPlan,
     UnicastPathPlan,
@@ -19,6 +20,7 @@ from repro.emulator.plan import (
 
 __all__ = [
     "CodedBroadcastPlan",
+    "CodingParams",
     "CreditBroadcastPlan",
     "SessionPlan",
     "UnicastPathPlan",

@@ -26,7 +26,7 @@ their own stream — fixed seed + fixed scenario = bit-identical traces.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Any, Callable, Dict, List, Tuple
 
 from repro import obs
@@ -49,9 +49,10 @@ from repro.emulator.session import (
     unicast_demand_hint,
 )
 from repro.emulator.trace import SessionTracer
-from repro.protocols.adaptive import AdaptivePlanner
+from repro.protocols.adaptive import AdaptivePlanner, CodingController
 from repro.protocols.base import (
     CodedBroadcastPlan,
+    CodingParams,
     CreditBroadcastPlan,
     SessionPlan,
     UnicastPathPlan,
@@ -152,12 +153,21 @@ def run_adaptive_session(
     rng: RngFactory | None = None,
     registry: obs.MetricsRegistry | None = None,
     tracer: SessionTracer | None = None,
+    coding_controller: CodingController | None = None,
 ) -> AdaptiveSessionResult:
     """Run one session live under a scenario.
 
     The scenario's ``duration`` governs session length (the session
     config's ``max_seconds`` is ignored); control-plane stalls consume
     session time, so re-planning is never free.
+
+    A ``coding_controller`` adds a second control loop: each epoch it
+    re-evaluates the generation size (and systematic flag) from the
+    drifted qualities, and changed decisions are pushed to every live
+    runtime via ``apply_plan(coding=...)`` — honored at the next
+    generation boundary, so in-flight decodes survive.  The initial
+    decision is folded into the session config before runtimes are
+    built (the slot and payload accounting see the chosen n).
     """
     config = config or SessionConfig()
     rng = rng or RngFactory(0)
@@ -172,6 +182,16 @@ def run_adaptive_session(
     plan = planner.plan(timeline.network)
     planned_network = timeline.network
     unicast = isinstance(plan, UnicastPathPlan)
+
+    coding_current: CodingParams | None = None
+    if coding_controller is not None and not unicast:
+        coding_current = coding_controller.decide(timeline.network, plan)
+        if coding_current is not None:
+            config = replace(
+                config,
+                blocks=coding_current.blocks,
+                systematic=coding_current.systematic,
+            )
 
     delivered_count = [0]
 
@@ -279,6 +299,23 @@ def run_adaptive_session(
                     tracer.record(
                         engine.stats.slots, engine.now, "replan", -1,
                         detail=epoch,
+                    )
+        if coding_controller is not None and not unicast and not done:
+            decision = coding_controller.decide(timeline.network, plan)
+            # Push when the decision changed, and re-push after a
+            # hot-swap: replacement relays were built at the config's
+            # generation size and adopt the live one at their next
+            # generation boundary via the pending-coding path.
+            if decision is not None and (
+                replanned or decision != coding_current
+            ):
+                coding_current = decision
+                for runtime in engine.runtimes.values():
+                    runtime.apply_plan(coding=decision)
+                if tracer is not None:
+                    tracer.record(
+                        engine.stats.slots, engine.now, "coding", -1,
+                        detail=decision.blocks,
                     )
         records.append(
             EpochRecord(

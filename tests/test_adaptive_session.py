@@ -379,3 +379,78 @@ class TestShardedHotSwap:
         ) as session:
             with pytest.raises(KeyError, match="no runtimes"):
                 session.apply_plan_updates({10_000: {"rate_bps": 1.0}})
+
+
+class TestAdaptiveCodingDigest:
+    """Mid-run generation-size switches are shard-oblivious.
+
+    The tentpole oracle: an adaptive-n session — coding parameters
+    swapped at generation boundaries while packets are in flight — must
+    produce bit-identical traces and stats for shards in {1, 2, 4}.
+    The pending-coding handoff, the stale-packet drops and the decoder
+    rebuilds all have to land at the same slot barriers regardless of
+    how the node set is partitioned."""
+
+    def _coding_run(self, network, plan, shards):
+        from repro.emulator import shard as shard_mod
+        from repro.protocols.base import CodingParams
+
+        config = SessionConfig(
+            max_seconds=40.0,
+            blocks=6,
+            block_size=256,
+            coding_fidelity="exact",
+        )
+        decode_log = shard_mod._DecodeLog()
+        runtimes, _ = build_plan_runtimes(
+            network,
+            plan,
+            config=config,
+            rng=RngFactory(21),
+            on_decoded=decode_log,
+        )
+        slot = config.coded_packet_bytes() / network.capacity
+        tracer = SessionTracer()
+
+        def everyone(params):
+            return {node: {"coding": params} for node in runtimes}
+
+        with shard_mod.ShardedSession(
+            network,
+            runtimes,
+            slot,
+            rng_factory=RngFactory(21),
+            shards=shards,
+            tracer=tracer,
+            decode_log=decode_log,
+        ) as session:
+            session.run(200)
+            # Grow the generation mid-run; stale n=6 packets are still
+            # in flight when the boundary lands.
+            session.apply_plan_updates(everyone(CodingParams(blocks=9)))
+            session.broadcast_generation_advance(1)
+            session.run(250)
+            # Shrink and go systematic for the next generation.
+            session.apply_plan_updates(
+                everyone(CodingParams(blocks=4, systematic=True))
+            )
+            session.broadcast_generation_advance(2)
+            session.run(250)
+            stats = session.finalize_stats()
+        return stats, list(tracer.events())
+
+    @pytest.mark.parametrize("shards", [2, 4])
+    def test_adaptive_blocks_swap_is_shard_oblivious(self, net_pair, shards):
+        network, source, destination = net_pair
+        plan = plan_omnc(network, source, destination)
+        serial_stats, serial_events = self._coding_run(network, plan, 1)
+        sharded_stats, sharded_events = self._coding_run(
+            network, plan, shards
+        )
+        assert sharded_events == serial_events
+        assert sharded_stats.slots == serial_stats.slots
+        assert sharded_stats.elapsed == serial_stats.elapsed
+        assert sharded_stats.grants == serial_stats.grants
+        assert sharded_stats.transmissions == serial_stats.transmissions
+        assert sharded_stats.queue_time_sum == serial_stats.queue_time_sum
+        assert sharded_stats.delivered_links == serial_stats.delivered_links

@@ -132,10 +132,14 @@ class TestRelayReEncoder:
         with pytest.raises(ValueError, match="session"):
             relay.accept(packet)
 
-    def test_wrong_generation_size_raises(self):
+    def test_wrong_generation_size_dropped(self):
+        # Stale-sized packets are in flight whenever an adaptive-n
+        # session switches generation size at a boundary; the relay
+        # drops them instead of crashing.
         relay = RelayReEncoder(1, 4, np.random.default_rng(9))
-        with pytest.raises(ValueError, match="generation size"):
-            relay.accept(self._packet([1, 0, 0]))
+        assert relay.accept(self._packet([1, 0, 0])) is False
+        assert relay.buffered == 0
+        assert relay.accept(self._packet([1, 0, 0, 0])) is True
 
     def test_payload_reencoding_consistency(self):
         # Relay payloads must remain the same linear combination as the

@@ -182,3 +182,83 @@ class TestCodingSpeed:
         points = run_coding_speed(shapes=[(8, 64)])
         assert len(points) == 1
         assert points[0].speedup > 1.0
+
+
+class TestFig7:
+    @pytest.fixture(scope="class")
+    def fig7(self):
+        from repro.experiments.fig7_finite_length import Fig7Config, run_fig7
+
+        return run_fig7(
+            Fig7Config(
+                block_size=256,
+                losses=(0.0, 0.3),
+                window_seconds=12.0,
+                decode_trials=6,
+                decode_blocks=12,
+            )
+        )
+
+    def test_payloads_identical_in_every_cell(self, fig7):
+        assert all(
+            point.payloads_identical
+            for point in fig7.decode_costs.values()
+        )
+
+    def test_systematic_slashes_eliminations_at_zero_loss(self, fig7):
+        assert fig7.elimination_reduction(0.0) >= 5.0
+        assert fig7.decode_costs[(0.0, True)].eliminations_per_generation == 0.0
+
+    def test_all_arms_measured_at_every_loss(self, fig7):
+        for loss in fig7.config.losses:
+            for arm in ("static", "adaptive", "systematic"):
+                point = fig7.goodput[(loss, arm)]
+                assert point.goodput_bps >= 0.0
+        assert fig7.goodput[(0.3, "adaptive")].blocks < 40
+        assert fig7.goodput[(0.3, "systematic")].systematic
+
+    def test_model_overhead_monotone_in_loss(self, fig7):
+        losses = fig7.config.losses
+        for index, _candidate in enumerate(fig7.config.candidates):
+            ratios = [
+                fig7.model_overhead[loss][index][1] for loss in losses
+            ]
+            assert all(b > a for a, b in zip(ratios, ratios[1:]))
+
+
+class TestFig6EndpointLayouts:
+    @pytest.fixture(scope="class")
+    def mesh(self):
+        from repro.topology.random_network import random_network
+        from repro.util.rng import RngFactory
+
+        return random_network(
+            24, neighbors_per_node=9.0,
+            rng=RngFactory(2008).derive("topology"),
+        )
+
+    def test_disjoint_pairs_share_no_nodes(self, mesh):
+        from repro.experiments.fig6_multisession import fig6_endpoints
+
+        pairs = fig6_endpoints(mesh, 3)
+        nodes = [node for pair in pairs for node in pair]
+        assert len(nodes) == len(set(nodes))
+
+    def test_opposing_pairs_mirror_and_enable_xor(self, mesh):
+        from repro.experiments.fig6_multisession import fig6_endpoints
+        from repro.protocols.intersession import plan_intersession_pairs
+        from repro.protocols.more import plan_more
+
+        pairs = fig6_endpoints(mesh, 2, layout="opposing")
+        assert pairs[1] == (pairs[0][1], pairs[0][0])
+        plans = {
+            sid: plan_more(mesh, *endpoints)
+            for sid, endpoints in enumerate(pairs, start=1)
+        }
+        assert plan_intersession_pairs(plans)
+
+    def test_unknown_layout_rejected(self, mesh):
+        from repro.experiments.fig6_multisession import fig6_endpoints
+
+        with pytest.raises(ValueError, match="layout"):
+            fig6_endpoints(mesh, 2, layout="spiral")
